@@ -1,0 +1,51 @@
+// Command genpdb writes the synthetic benchmark datasets (the CK34 and
+// RS119 stand-ins) as PDB files, so they can be inspected, compared with
+// external tools, or fed back through cmd/tmalign.
+//
+// Usage:
+//
+//	genpdb [-dataset CK34|RS119|all] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rckalign/internal/pdb"
+	"rckalign/internal/synth"
+)
+
+func main() {
+	dataset := flag.String("dataset", "all", "dataset to write: CK34, RS119 or all")
+	out := flag.String("out", "datasets", "output directory")
+	flag.Parse()
+
+	names := []string{*dataset}
+	if *dataset == "all" {
+		names = []string{"CK34", "RS119"}
+	}
+	for _, name := range names {
+		ds, err := synth.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		dir := filepath.Join(*out, ds.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, s := range ds.Structures {
+			path := filepath.Join(dir, s.ID+".pdb")
+			if err := pdb.WriteFile(path, s); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d chains (%d residues) to %s\n", ds.Len(), ds.TotalResidues(), dir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genpdb:", err)
+	os.Exit(1)
+}

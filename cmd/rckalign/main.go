@@ -1,0 +1,126 @@
+// Command rckalign runs the all-vs-all protein structure comparison task
+// on the simulated SCC many-core processor, reproducing the paper's
+// Experiment II: a master core loads the dataset, FARMs the pairwise
+// TM-align jobs to slave cores, and the simulated end-to-end time and
+// speedup are reported.
+//
+// Usage:
+//
+//	rckalign [-dataset CK34|RS119] [-slaves N | -sweep] [-order FIFO|LPT|Random]
+//	         [-hierarchy H] [-cache DIR] [-fast] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rckalign/internal/core"
+	"rckalign/internal/costmodel"
+	"rckalign/internal/sched"
+	"rckalign/internal/stats"
+	"rckalign/internal/synth"
+	"rckalign/internal/tmalign"
+	"rckalign/internal/trace"
+)
+
+func main() {
+	dataset := flag.String("dataset", "CK34", "dataset: CK34 or RS119")
+	slaves := flag.Int("slaves", 47, "number of slave cores (1-47)")
+	sweep := flag.Bool("sweep", false, "sweep slave counts 1,3,...,47 (the paper's Experiment II)")
+	order := flag.String("order", "FIFO", "job ordering: FIFO, LPT, SPT or Random")
+	hierarchy := flag.Int("hierarchy", 0, "number of sub-masters (0 = single master, the paper's setup)")
+	cacheDir := flag.String("cache", "testdata/paircache", "pair-result cache directory (empty = always recompute)")
+	fast := flag.Bool("fast", false, "use the fast TM-align profile when (re)computing pair results")
+	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
+	util := flag.Bool("util", false, "print the per-core utilization of the (last) run")
+	threads := flag.Int("threads", 1, "threads per worker (2 = dual-core tile workers; paper future work)")
+	memBudget := flag.Int("membudget", 0, "master memory budget in residues (0 = unlimited; >0 = out-of-core tiled run)")
+	flag.Parse()
+
+	ds, err := synth.ByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	opt := tmalign.DefaultOptions()
+	if *fast {
+		opt = tmalign.FastOptions()
+	}
+	cachePath := ""
+	if *cacheDir != "" {
+		cachePath = filepath.Join(*cacheDir, ds.Name+".gob")
+	}
+	fmt.Fprintf(os.Stderr, "loading %s (%d chains, %d pairs)...\n", ds.Name, ds.Len(), ds.Pairs())
+	pr, err := core.ComputeOrLoad(ds, opt, cachePath, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Hierarchy = *hierarchy
+	switch strings.ToUpper(*order) {
+	case "FIFO":
+		cfg.Order = sched.FIFO
+	case "LPT":
+		cfg.Order = sched.LPT
+	case "SPT":
+		cfg.Order = sched.SPT
+	case "RANDOM":
+		cfg.Order = sched.Random
+	default:
+		fatal(fmt.Errorf("unknown order %q", *order))
+	}
+
+	baseline := pr.SerialSeconds(costmodel.P54C())
+	counts := []int{*slaves}
+	if *sweep {
+		counts = core.OddSlaveCounts(47)
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("rckAlign all-vs-all on %s (serial P54C baseline: %.0f s)", ds.Name, baseline),
+		"Slave Cores", "Time (s)", "Speedup", "Efficiency")
+	cfg.ThreadsPerWorker = *threads
+	var rec *trace.Recorder
+	for _, n := range counts {
+		if *util {
+			rec = trace.New()
+		}
+		cfg.Trace = rec
+		var total float64
+		if *memBudget > 0 {
+			tcfg := core.DefaultTiledConfig(*memBudget)
+			tcfg.Config = cfg
+			tcfg.MemoryBudgetResidues = *memBudget
+			r, err := core.RunTiled(pr, n, tcfg)
+			if err != nil {
+				fatal(err)
+			}
+			total = r.TotalSeconds
+		} else {
+			r, err := core.Run(pr, n, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			total = r.TotalSeconds
+		}
+		sp := baseline / total
+		tb.AddRowf(n, total, sp, sp/float64(n))
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		fmt.Print(tb.String())
+	}
+	if rec != nil {
+		fmt.Println("\nper-core utilization (last run):")
+		fmt.Print(rec.UtilizationTable(40))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rckalign:", err)
+	os.Exit(1)
+}

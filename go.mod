@@ -1,0 +1,3 @@
+module rckalign
+
+go 1.22

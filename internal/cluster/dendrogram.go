@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// node is one vertex of the reconstructed merge tree.
+type node struct {
+	leaf       int // structure index, -1 for internal nodes
+	similarity float64
+	left       *node
+	right      *node
+}
+
+// Dendrogram renders the average-linkage merge history as an ASCII tree:
+// internal nodes show the similarity at which their subtrees joined,
+// leaves show structure names. Reading the tree top-down replays the
+// agglomeration from loosest to tightest join.
+func (m *Matrix) Dendrogram() string {
+	merges := m.AverageLinkage()
+	// Reconstruct the binary tree: a cluster is identified by its sorted
+	// member list.
+	key := func(members []int) string {
+		parts := make([]string, len(members))
+		for i, v := range members {
+			parts[i] = fmt.Sprint(v)
+		}
+		return strings.Join(parts, ",")
+	}
+	nodes := map[string]*node{}
+	for i := 0; i < m.Len(); i++ {
+		nodes[key([]int{i})] = &node{leaf: i}
+	}
+	var root *node
+	for _, mg := range merges {
+		a := nodes[key(mg.A)]
+		b := nodes[key(mg.B)]
+		joined := append(append([]int(nil), mg.A...), mg.B...)
+		sort.Ints(joined)
+		n := &node{leaf: -1, similarity: mg.Similarity, left: a, right: b}
+		nodes[key(joined)] = n
+		root = n
+	}
+	if root == nil {
+		if m.Len() == 1 {
+			return m.Name(0) + "\n"
+		}
+		return "(empty)\n"
+	}
+
+	var b strings.Builder
+	var render func(n *node, prefix string, isLast bool)
+	render = func(n *node, prefix string, isLast bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if isLast {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if n.leaf >= 0 {
+			fmt.Fprintf(&b, "%s%s%s\n", prefix, connector, m.Name(n.leaf))
+			return
+		}
+		fmt.Fprintf(&b, "%s%s[%.3f]\n", prefix, connector, n.similarity)
+		render(n.left, childPrefix, false)
+		render(n.right, childPrefix, true)
+	}
+	fmt.Fprintf(&b, "[%.3f]\n", root.similarity)
+	render(root.left, "", false)
+	render(root.right, "", true)
+	return b.String()
+}

@@ -1,0 +1,310 @@
+// Package core implements rckAlign, the paper's primary contribution: a
+// master–slaves all-vs-all protein structure comparison application for
+// the SCC built on the rckskel skeleton library. The master core loads
+// every structure once, generates the pairwise job list, and FARMs the
+// jobs out to slave cores; slaves run TM-align on received structure
+// pairs and return results over the mesh.
+//
+// The expensive TM-align computations are executed natively (once per
+// pair, in parallel on the host) and the simulation replays their
+// measured operation counts as simulated compute time on the modelled
+// P54C cores — see DESIGN.md.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rckalign/internal/costmodel"
+	"rckalign/internal/pdb"
+	"rckalign/internal/rcce"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/scc"
+	"rckalign/internal/sched"
+	"rckalign/internal/sim"
+	"rckalign/internal/synth"
+	"rckalign/internal/tmalign"
+	"rckalign/internal/trace"
+)
+
+// StructBytes models the wire size of one structure (CA coordinates as
+// three float64 plus residue metadata), as the master sends it to a
+// slave.
+func StructBytes(residues int) int { return 32 + 25*residues }
+
+// FileBytes models the on-disk PDB size of a chain (one 80-column ATOM
+// record per residue plus header/footer), for the NFS baseline.
+func FileBytes(residues int) int { return 200 + 81*residues }
+
+// ResultBytes models the wire size of one comparison result (scores plus
+// the alignment map).
+func ResultBytes(len2 int) int { return 96 + 2*len2 }
+
+// PairResults holds the native TM-align results for every all-vs-all
+// pair of a dataset, computed once and replayed by the simulators.
+type PairResults struct {
+	Dataset *synth.Dataset
+	Pairs   []sched.Pair
+	// Results[k] corresponds to Pairs[k].
+	Results []*tmalign.Result
+	// index maps a pair to its slot.
+	index map[sched.Pair]int
+}
+
+// Get returns the result for a pair.
+func (pr *PairResults) Get(p sched.Pair) *tmalign.Result { return pr.Results[pr.index[p]] }
+
+// TotalOps sums the operation counts over all pairs.
+func (pr *PairResults) TotalOps() costmodel.Counter {
+	var total costmodel.Counter
+	for _, r := range pr.Results {
+		total.Add(r.Ops)
+	}
+	return total
+}
+
+// SerialSeconds returns the time a single core with the given CPU profile
+// needs for the whole all-vs-all task (the paper's serial baseline),
+// including loading every structure once.
+func (pr *PairResults) SerialSeconds(cpu costmodel.CPU) float64 {
+	ops := pr.TotalOps()
+	ops.Add(loadOps(pr.Dataset))
+	return cpu.Seconds(ops)
+}
+
+// loadOps is the one-time cost of parsing all structures into memory.
+func loadOps(ds *synth.Dataset) costmodel.Counter {
+	return costmodel.Counter{ResiduesLoaded: uint64(ds.TotalResidues())}
+}
+
+// ComputeAllPairs runs TM-align natively for every all-vs-all pair of
+// the dataset, using up to `parallelism` host goroutines (0 = GOMAXPROCS).
+// The comparisons themselves are deterministic, so the parallelism only
+// affects wall-clock time, never results.
+func ComputeAllPairs(ds *synth.Dataset, opt tmalign.Options, parallelism int) *PairResults {
+	pairs := sched.AllVsAll(ds.Len())
+	pr := &PairResults{
+		Dataset: ds,
+		Pairs:   pairs,
+		Results: make([]*tmalign.Result, len(pairs)),
+		index:   make(map[sched.Pair]int, len(pairs)),
+	}
+	for k, p := range pairs {
+		pr.index[p] = k
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				p := pairs[k]
+				pr.Results[k] = tmalign.Compare(ds.Structures[p.I], ds.Structures[p.J], opt)
+			}
+		}()
+	}
+	for k := range pairs {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	return pr
+}
+
+// Config tunes an rckAlign simulation run.
+type Config struct {
+	// Chip is the SCC model (DefaultConfig = Table I).
+	Chip scc.Config
+	// MasterCore runs the master process (paper: core 0, "the first core
+	// supplied to the program").
+	MasterCore int
+	// Order is the job ordering policy (paper: FIFO).
+	Order sched.Order
+	// OrderSeed drives sched.Random.
+	OrderSeed int64
+	// Hierarchy enables the paper's proposed two-level master tree with
+	// the given number of sub-masters (0 = single master, the paper's
+	// implementation).
+	Hierarchy int
+	// PollingScale scales the master's round-robin polling discovery
+	// cost (1 = the paper's busy polling, 0 = ideal event-driven
+	// notification; used by the polling ablation). Values below zero are
+	// treated as 1.
+	PollingScale float64
+	// Trace, when non-nil, receives per-core activity intervals for
+	// utilization/Gantt reports.
+	Trace *trace.Recorder
+	// ThreadsPerWorker is the paper's closing future-work item
+	// ("building support for threading into the base library"): when 2,
+	// each worker process uses both cores of its tile, finishing each
+	// job in 1/(2*ThreadEfficiency) of the serial time while occupying
+	// two cores. 0 or 1 = the paper's single-threaded slaves.
+	ThreadsPerWorker int
+	// ThreadEfficiency is the per-thread scaling efficiency (default
+	// 0.9; DP and scoring parallelise well, the Kabsch solves less so).
+	ThreadEfficiency float64
+}
+
+// DefaultConfig returns the paper's setup.
+func DefaultConfig() Config {
+	return Config{Chip: scc.DefaultConfig(), MasterCore: 0, Order: sched.FIFO, PollingScale: 1}
+}
+
+// RunResult reports one simulated rckAlign execution.
+type RunResult struct {
+	// Slaves is the slave-core count used.
+	Slaves int
+	// TotalSeconds is the simulated end-to-end time (load + farm).
+	TotalSeconds float64
+	// LoadSeconds is the master's one-time data loading cost.
+	LoadSeconds float64
+	// FarmStats reports the job distribution.
+	FarmStats rckskel.Stats
+	// Collected counts results received by the master.
+	Collected int
+}
+
+// Speedup returns base/this in time.
+func (r RunResult) Speedup(baseSeconds float64) float64 { return baseSeconds / r.TotalSeconds }
+
+// Run simulates rckAlign on `slaves` slave cores (1..NumCores-1) and
+// returns the simulated timing. Results are replayed from pr, so the
+// PSC output is identical to the serial baseline by construction.
+// With cfg.ThreadsPerWorker = 2, the `slaves` cores are grouped into
+// slaves/2 dual-threaded tile workers.
+func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
+	maxSlaves := cfg.Chip.NumCores() - 1
+	if slaves < 1 || slaves > maxSlaves {
+		return RunResult{}, fmt.Errorf("core: slave count %d outside [1,%d]", slaves, maxSlaves)
+	}
+	if cfg.Hierarchy > 0 {
+		return runHierarchical(pr, slaves, cfg)
+	}
+	threads := cfg.ThreadsPerWorker
+	if threads < 1 {
+		threads = 1
+	}
+	eff := cfg.ThreadEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 0.9
+	}
+	workers := slaves / threads
+	if workers < 1 {
+		return RunResult{}, fmt.Errorf("core: %d cores cannot form a %d-thread worker", slaves, threads)
+	}
+	opScale := 1.0
+	if threads > 1 {
+		opScale = 1.0 / (float64(threads) * eff)
+	}
+
+	engine := sim.NewEngine()
+	chip := scc.New(engine, cfg.Chip)
+	comm := rcce.New(chip)
+
+	// One worker process per `threads` cores: take the slave cores in id
+	// order (skipping the master) and group them; the worker process
+	// lives on each group's first core, its thread partners contributing
+	// compute bandwidth via opScale.
+	avail := make([]int, 0, slaves)
+	for c := 0; len(avail) < slaves; c++ {
+		if c == cfg.MasterCore {
+			continue
+		}
+		avail = append(avail, c)
+	}
+	slaveIDs := make([]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		slaveIDs = append(slaveIDs, avail[w*threads])
+	}
+	team := rckskel.NewTeam(comm, cfg.MasterCore, slaveIDs)
+	if cfg.PollingScale >= 0 {
+		team.DiscoveryCostScale = cfg.PollingScale
+	}
+	team.Trace = cfg.Trace
+
+	ds := pr.Dataset
+	lengths := make([]int, ds.Len())
+	for i, s := range ds.Structures {
+		lengths[i] = s.Len()
+	}
+	ordered := sched.Apply(pr.Pairs, cfg.Order, sched.LengthProductCost(lengths), cfg.OrderSeed)
+
+	jobs := make([]rckskel.Job, len(ordered))
+	for k, p := range ordered {
+		jobs[k] = rckskel.Job{
+			ID:      k,
+			Payload: p,
+			Bytes:   StructBytes(lengths[p.I]) + StructBytes(lengths[p.J]),
+		}
+	}
+
+	handler := func(job rckskel.Job) (any, costmodel.Counter, int) {
+		p := job.Payload.(sched.Pair)
+		res := pr.Get(p)
+		return res, res.Ops.Scaled(opScale), ResultBytes(res.Len2)
+	}
+	team.StartSlaves(handler)
+
+	out := RunResult{Slaves: slaves}
+	chip.SpawnCore(cfg.MasterCore, func(p *sim.Process) {
+		// One-time load of every structure by the master (the design
+		// choice Experiment I validates).
+		chip.Compute(p, loadOps(ds))
+		out.LoadSeconds = p.Now()
+		out.FarmStats = team.FARM(p, jobs, func(r rckskel.Result) {
+			out.Collected++
+		})
+		team.Terminate(p)
+		out.TotalSeconds = p.Now()
+	})
+	if err := engine.Run(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// RunSweep simulates rckAlign for each slave count and returns the
+// results in order (the paper's Experiment II sweep: 1,3,...,47).
+func RunSweep(pr *PairResults, slaveCounts []int, cfg Config) ([]RunResult, error) {
+	out := make([]RunResult, 0, len(slaveCounts))
+	for _, n := range slaveCounts {
+		r, err := Run(pr, n, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// OddSlaveCounts returns the paper's sweep 1, 3, 5, ..., max.
+func OddSlaveCounts(max int) []int {
+	var out []int
+	for n := 1; n <= max; n += 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// LoadDatasetDir reads every *.pdb file in a directory as a dataset, for
+// users who want to run on real PDB chains instead of the synthetic
+// stand-ins.
+func LoadDatasetDir(name string, paths []string) (*synth.Dataset, error) {
+	ds := &synth.Dataset{Name: name}
+	for _, p := range paths {
+		s, err := pdb.ParseFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ds.Structures = append(ds.Structures, s)
+	}
+	if len(ds.Structures) < 2 {
+		return nil, fmt.Errorf("core: dataset %s needs at least 2 structures", name)
+	}
+	return ds, nil
+}

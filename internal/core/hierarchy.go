@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"rckalign/internal/costmodel"
+	"rckalign/internal/rcce"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/scc"
+	"rckalign/internal/sched"
+	"rckalign/internal/sim"
+)
+
+// runHierarchical implements the paper's proposed extension for master
+// scalability: a root master on cfg.MasterCore forwards job partitions
+// to cfg.Hierarchy sub-masters, each of which FARMs its share to its own
+// slave partition. The root then gathers per-partition aggregates. This
+// removes the single master from every job's critical path at the cost
+// of dedicating sub-master cores.
+func runHierarchical(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
+	h := cfg.Hierarchy
+	if h < 1 {
+		h = 1
+	}
+	if h > slaves {
+		h = slaves
+	}
+	need := 1 + h + slaves
+	if need > cfg.Chip.NumCores() {
+		return RunResult{}, fmt.Errorf("core: hierarchy needs %d cores, chip has %d", need, cfg.Chip.NumCores())
+	}
+
+	engine := sim.NewEngine()
+	chip := scc.New(engine, cfg.Chip)
+	comm := rcce.New(chip)
+
+	root := cfg.MasterCore
+	// Assign cores in id order, skipping the root.
+	nextCore := 0
+	take := func() int {
+		for nextCore == root {
+			nextCore++
+		}
+		c := nextCore
+		nextCore++
+		return c
+	}
+	subMasters := make([]int, h)
+	for i := range subMasters {
+		subMasters[i] = take()
+	}
+	slavesOf := make([][]int, h)
+	for k := 0; k < slaves; k++ {
+		i := k % h
+		slavesOf[i] = append(slavesOf[i], take())
+	}
+
+	ds := pr.Dataset
+	lengths := make([]int, ds.Len())
+	for i, s := range ds.Structures {
+		lengths[i] = s.Len()
+	}
+	ordered := sched.Apply(pr.Pairs, cfg.Order, sched.LengthProductCost(lengths), cfg.OrderSeed)
+
+	// Round-robin partition of the job list over sub-masters.
+	jobsOf := make([][]rckskel.Job, h)
+	for k, p := range ordered {
+		i := k % h
+		jobsOf[i] = append(jobsOf[i], rckskel.Job{
+			ID:      k,
+			Payload: p,
+			Bytes:   StructBytes(lengths[p.I]) + StructBytes(lengths[p.J]),
+		})
+	}
+
+	handler := func(job rckskel.Job) (any, costmodel.Counter, int) {
+		p := job.Payload.(sched.Pair)
+		res := pr.Get(p)
+		return res, res.Ops, ResultBytes(res.Len2)
+	}
+
+	type partitionDone struct {
+		collected int
+		stats     rckskel.Stats
+	}
+
+	teams := make([]*rckskel.Team, h)
+	for i := 0; i < h; i++ {
+		if len(slavesOf[i]) == 0 {
+			continue
+		}
+		teams[i] = rckskel.NewTeam(comm, subMasters[i], slavesOf[i])
+		teams[i].StartSlaves(handler)
+	}
+
+	// Sub-master processes: receive their job batch from the root, farm
+	// it, report completion.
+	for i := 0; i < h; i++ {
+		i := i
+		if teams[i] == nil {
+			continue
+		}
+		chip.SpawnCore(subMasters[i], func(p *sim.Process) {
+			m := comm.Recv(p, root, subMasters[i])
+			jobs := m.Payload.([]rckskel.Job)
+			collected := 0
+			stats := teams[i].FARM(p, jobs, func(rckskel.Result) { collected++ })
+			teams[i].Terminate(p)
+			comm.Send(p, subMasters[i], root, 64, partitionDone{collected: collected, stats: stats})
+		})
+	}
+
+	out := RunResult{Slaves: slaves}
+	chip.SpawnCore(root, func(p *sim.Process) {
+		chip.Compute(p, loadOps(ds))
+		out.LoadSeconds = p.Now()
+		// Forward each partition's structures+jobs descriptor. The data
+		// volume is the same structure bytes the flat master would send,
+		// but it moves once per partition, off the per-job critical path.
+		for i := 0; i < h; i++ {
+			if teams[i] == nil {
+				continue
+			}
+			bytes := 0
+			for _, j := range jobsOf[i] {
+				bytes += j.Bytes
+			}
+			comm.Send(p, root, subMasters[i], bytes, jobsOf[i])
+		}
+		out.FarmStats = rckskel.Stats{JobsPerSlave: map[int]int{}}
+		for i := 0; i < h; i++ {
+			if teams[i] == nil {
+				continue
+			}
+			m := comm.Recv(p, subMasters[i], root)
+			done := m.Payload.(partitionDone)
+			out.Collected += done.collected
+			for core, n := range done.stats.JobsPerSlave {
+				out.FarmStats.JobsPerSlave[core] += n
+			}
+			out.FarmStats.PollProbes += done.stats.PollProbes
+		}
+		out.TotalSeconds = p.Now()
+		out.FarmStats.MakespanSeconds = out.TotalSeconds - out.LoadSeconds
+	})
+	if err := engine.Run(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+// Package dist models the paper's Experiment I baseline: "distributed
+// TM-align", where a controlling master process runs on the SCC host PC
+// (the MCPC) and issues one remote process per pairwise comparison to
+// the SCC cores via pssh. Each job pays (a) remote process spawn and
+// environment setup, and (b) NFS reads of its two input structures
+// through the MCPC's single disk controller — the two overheads the
+// paper identifies as the reasons rckAlign wins (Section V-C).
+package dist
+
+import (
+	"fmt"
+
+	"rckalign/internal/core"
+	"rckalign/internal/scc"
+	"rckalign/internal/sched"
+	"rckalign/internal/sim"
+)
+
+// Config models the MCPC-side costs.
+type Config struct {
+	// Chip provides the slave cores (and their CPU profile).
+	Chip scc.Config
+	// SpawnSeconds is the per-job remote process creation + environment
+	// setup cost (ssh exec, loader, f2c runtime init) on the 800 MHz
+	// core; it parallelises across cores.
+	SpawnSeconds float64
+	// DispatchSeconds is the master's per-job pssh issue cost on the
+	// MCPC (serialised at the master).
+	DispatchSeconds float64
+	// NFSSeekSeconds is the disk-controller service time per file read
+	// (serialised at the single MCPC disk).
+	NFSSeekSeconds float64
+	// NFSBytesPerSecond is the NFS data bandwidth (shared).
+	NFSBytesPerSecond float64
+}
+
+// DefaultConfig returns values calibrated so the CK34 curve lands in the
+// region of the paper's Table II (about 2.5x slower than rckAlign at one
+// slave, converging to about 2x at 47; see EXPERIMENTS.md).
+func DefaultConfig() Config {
+	return Config{
+		Chip:              scc.DefaultConfig(),
+		SpawnSeconds:      5.0,
+		DispatchSeconds:   0.05,
+		NFSSeekSeconds:    0.06,
+		NFSBytesPerSecond: 10e6,
+	}
+}
+
+// RunResult reports one simulated distributed-TM-align execution.
+type RunResult struct {
+	Slaves       int
+	TotalSeconds float64
+	// DiskBusySeconds is the cumulative disk service time (for
+	// utilisation analysis).
+	DiskBusySeconds float64
+	Collected       int
+}
+
+// Run simulates the all-vs-all task on `slaves` SCC cores driven from
+// the MCPC, replaying the native TM-align results in pr.
+func Run(pr *core.PairResults, slaves int, cfg Config) (RunResult, error) {
+	if slaves < 1 || slaves > cfg.Chip.NumCores() {
+		return RunResult{}, fmt.Errorf("dist: slave count %d outside [1,%d]", slaves, cfg.Chip.NumCores())
+	}
+	engine := sim.NewEngine()
+	chip := scc.New(engine, cfg.Chip)
+	disk := sim.NewResource("mcpc-disk", 1)
+	jobCh := sim.NewChan("pssh")
+	doneCh := sim.NewChan("done")
+
+	ds := pr.Dataset
+	lengths := make([]int, ds.Len())
+	for i, s := range ds.Structures {
+		lengths[i] = s.Len()
+	}
+
+	out := RunResult{Slaves: slaves}
+
+	type jobMsg struct {
+		pair sched.Pair
+	}
+	type stop struct{}
+
+	// Slave cores: each loops pulling the next job from the MCPC master.
+	// Every job is a fresh process: spawn, read both inputs over NFS,
+	// compute, exit.
+	for s := 0; s < slaves; s++ {
+		chip.SpawnCore(s, func(p *sim.Process) {
+			for {
+				m := jobCh.Recv(p)
+				if _, halt := m.(stop); halt {
+					return
+				}
+				pair := m.(jobMsg).pair
+				p.Wait(cfg.SpawnSeconds)
+				for _, idx := range [2]int{pair.I, pair.J} {
+					disk.Acquire(p)
+					p.Wait(cfg.NFSSeekSeconds + float64(core.FileBytes(lengths[idx]))/cfg.NFSBytesPerSecond)
+					disk.Release(p)
+				}
+				res := pr.Get(pair)
+				chip.Compute(p, res.Ops)
+				doneCh.Send(p, res)
+			}
+		})
+	}
+
+	// MCPC master: issue jobs to whichever core pulls next (pssh to a
+	// free node), then collect completions.
+	engine.Spawn("mcpc-master", func(p *sim.Process) {
+		issued := 0
+		collected := 0
+		// Prime every core with one job (each Send hands the job to the
+		// next core that asks), then reissue on each completion.
+		prime := slaves
+		if prime > len(pr.Pairs) {
+			prime = len(pr.Pairs)
+		}
+		for issued < prime {
+			p.Wait(cfg.DispatchSeconds)
+			jobCh.Send(p, jobMsg{pair: pr.Pairs[issued]})
+			issued++
+		}
+		for collected < len(pr.Pairs) {
+			doneCh.Recv(p)
+			collected++
+			if issued < len(pr.Pairs) {
+				p.Wait(cfg.DispatchSeconds)
+				jobCh.Send(p, jobMsg{pair: pr.Pairs[issued]})
+				issued++
+			}
+		}
+		for s := 0; s < slaves; s++ {
+			jobCh.Send(p, stop{})
+		}
+		out.Collected = collected
+		out.TotalSeconds = p.Now()
+	})
+
+	if err := engine.Run(); err != nil {
+		return out, err
+	}
+	out.DiskBusySeconds = disk.BusySeconds()
+	return out, nil
+}
+
+// RunSweep simulates the baseline across slave counts.
+func RunSweep(pr *core.PairResults, slaveCounts []int, cfg Config) ([]RunResult, error) {
+	out := make([]RunResult, 0, len(slaveCounts))
+	for _, n := range slaveCounts {
+		r, err := Run(pr, n, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,453 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V): the serial baselines (Table III), the
+// rckAlign-vs-distributed comparison on CK34 (Table II / Figure 5), the
+// scaling sweep on both datasets (Table IV / Figure 6) and the summary
+// (Table V), plus the ablations DESIGN.md calls out (job ordering,
+// hierarchical masters). Each function returns a stats.Table whose rows
+// place the reproduction next to the paper's published numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"rckalign/internal/core"
+	"rckalign/internal/costmodel"
+	"rckalign/internal/dist"
+	"rckalign/internal/mcpsc"
+	"rckalign/internal/scc"
+	"rckalign/internal/sched"
+	"rckalign/internal/sim"
+	"rckalign/internal/stats"
+	"rckalign/internal/synth"
+	"rckalign/internal/tmalign"
+	"rckalign/internal/trace"
+)
+
+// Paper-published values (seconds / speedups), keyed by slave count.
+var (
+	// Table II: CK34 all-vs-all, rckAlign vs distributed TM-align.
+	paperT2RckAlign = map[int]float64{
+		1: 2027, 3: 689, 5: 420, 7: 305, 9: 238, 11: 196, 13: 168, 15: 148,
+		17: 132, 19: 120, 21: 109, 23: 101, 25: 94, 27: 88, 29: 83, 31: 79,
+		33: 73, 35: 71, 37: 68, 39: 65, 41: 62, 43: 60, 45: 59, 47: 56,
+	}
+	paperT2Dist = map[int]float64{
+		1: 5212, 3: 1704, 5: 854, 7: 569, 9: 511, 11: 452, 13: 382, 15: 332,
+		17: 293, 19: 262, 21: 238, 23: 218, 25: 202, 27: 187, 29: 175, 31: 168,
+		33: 174, 35: 173, 37: 145, 39: 143, 41: 132, 43: 126, 45: 122, 47: 120,
+	}
+	// Table III: serial baselines.
+	paperT3 = map[string]map[string]float64{
+		"AMD":  {"CK34": 406, "RS119": 7298},
+		"P54C": {"CK34": 2029, "RS119": 28597},
+	}
+	// Table IV: rckAlign speedup/time by slave count.
+	paperT4CK34Speedup = map[int]float64{
+		1: 1, 3: 2.94, 5: 4.82, 7: 6.66, 9: 8.52, 11: 10.34, 13: 12.09,
+		15: 13.74, 17: 15.36, 19: 16.89, 21: 18.53, 23: 20.03, 25: 21.56,
+		27: 23.02, 29: 24.52, 31: 25.72, 33: 27.68, 35: 28.43, 37: 29.75,
+		39: 30.97, 41: 32.60, 43: 33.59, 45: 34.45, 47: 36.17,
+	}
+	paperT4RS119Speedup = map[int]float64{
+		1: 1, 3: 2.96, 5: 4.91, 7: 6.95, 9: 8.94, 11: 10.97, 13: 12.95,
+		15: 14.88, 17: 16.76, 19: 18.64, 21: 20.59, 23: 22.52, 25: 24.52,
+		27: 26.49, 29: 28.45, 31: 30.37, 33: 32.32, 35: 34.21, 37: 36.14,
+		39: 38.01, 41: 39.74, 43: 41.49, 45: 43.40, 47: 44.78,
+	}
+	// Table V: summary.
+	paperT5 = map[string][3]float64{ // AMD, P54C, SCC(47)
+		"CK34":  {406, 2029, 56},
+		"RS119": {7298, 28597, 640},
+	}
+)
+
+// Env holds the precomputed pair results for both datasets.
+type Env struct {
+	CK34, RS119 *core.PairResults
+}
+
+// Load computes or loads both datasets' pair results. cacheDir may be
+// empty to force recomputation (slow: minutes of host CPU).
+func Load(cacheDir string, opt tmalign.Options) (*Env, error) {
+	env := &Env{}
+	for _, d := range []struct {
+		name string
+		dst  **core.PairResults
+	}{{"CK34", &env.CK34}, {"RS119", &env.RS119}} {
+		ds, err := synth.ByName(d.name)
+		if err != nil {
+			return nil, err
+		}
+		path := ""
+		if cacheDir != "" {
+			path = filepath.Join(cacheDir, d.name+".gob")
+		}
+		pr, err := core.ComputeOrLoad(ds, opt, path, 0)
+		if err != nil {
+			return nil, err
+		}
+		*d.dst = pr
+	}
+	return env, nil
+}
+
+// LoadCK34Only is Load for experiments that do not need RS119.
+func LoadCK34Only(cacheDir string, opt tmalign.Options) (*Env, error) {
+	ds, err := synth.ByName("CK34")
+	if err != nil {
+		return nil, err
+	}
+	path := ""
+	if cacheDir != "" {
+		path = filepath.Join(cacheDir, "CK34.gob")
+	}
+	pr, err := core.ComputeOrLoad(ds, opt, path, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{CK34: pr}, nil
+}
+
+// TableI renders the SCC configuration (the paper's Table I).
+func TableI() *stats.Table {
+	cfg := scc.DefaultConfig()
+	tb := stats.NewTable("Table I: salient features of the SCC chip", "Feature", "Value")
+	tb.AddRow("Core architecture", fmt.Sprintf("%dx%d mesh, %d %s cores per tile",
+		cfg.TilesX, cfg.TilesY, cfg.CoresPerTile, "P54C (x86)"))
+	tb.AddRow("Cores", fmt.Sprintf("%d @ %.0f MHz", cfg.NumCores(), cfg.CPU.FreqHz/1e6))
+	tb.AddRow("Local cache", "16KB L1 + 256KB L2 per core (cost model)")
+	tb.AddRow("MPB", fmt.Sprintf("%dKB shared MPB per tile (%dKB total)",
+		cfg.MPBBytesPerTile/1024, cfg.MPBTotal()/1024))
+	tb.AddRow("Memory controllers", fmt.Sprintf("%d iMCs", cfg.MemControllers))
+	return tb
+}
+
+// TableII reproduces Table II / Figure 5: CK34 all-vs-all times for
+// rckAlign vs the MCPC-driven distributed TM-align, by slave count.
+func (e *Env) TableII() (*stats.Table, error) {
+	tb := stats.NewTable(
+		"Table II / Figure 5: CK34 all-vs-all, rckAlign vs distributed TM-align (seconds)",
+		"Slaves", "rckAlign", "paper", "distributed", "paper", "dist/rck")
+	counts := core.OddSlaveCounts(47)
+	rck, err := core.RunSweep(e.CK34, counts, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	dst, err := dist.RunSweep(e.CK34, counts, dist.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range counts {
+		tb.AddRowf(n,
+			rck[i].TotalSeconds, paperT2RckAlign[n],
+			dst[i].TotalSeconds, paperT2Dist[n],
+			dst[i].TotalSeconds/rck[i].TotalSeconds)
+	}
+	return tb, nil
+}
+
+// TableIII reproduces the serial baselines on both CPU profiles.
+func (e *Env) TableIII() *stats.Table {
+	tb := stats.NewTable(
+		"Table III: serial all-vs-all TM-align baselines (seconds)",
+		"Processor", "Dataset", "Measured", "Paper")
+	for _, row := range []struct {
+		cpu  costmodel.CPU
+		key  string
+		pr   *core.PairResults
+		name string
+	}{
+		{costmodel.AMD24(), "AMD", e.CK34, "CK34"},
+		{costmodel.AMD24(), "AMD", e.RS119, "RS119"},
+		{costmodel.P54C(), "P54C", e.CK34, "CK34"},
+		{costmodel.P54C(), "P54C", e.RS119, "RS119"},
+	} {
+		if row.pr == nil {
+			continue
+		}
+		tb.AddRowf(row.cpu.Name, row.name, row.pr.SerialSeconds(row.cpu), paperT3[row.key][row.name])
+	}
+	return tb
+}
+
+// TableIV reproduces Table IV / Figure 6: rckAlign time and speedup by
+// slave count for both datasets (speedup relative to one SCC core).
+func (e *Env) TableIV() (*stats.Table, error) {
+	tb := stats.NewTable(
+		"Table IV / Figure 6: rckAlign scaling (speedup vs 1 SCC core)",
+		"Slaves",
+		"CK34 s", "CK34 speedup", "paper",
+		"RS119 s", "RS119 speedup", "paper")
+	counts := core.OddSlaveCounts(47)
+	cfg := core.DefaultConfig()
+	ck, err := core.RunSweep(e.CK34, counts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseCK := e.CK34.SerialSeconds(costmodel.P54C())
+	var rs []core.RunResult
+	baseRS := 0.0
+	if e.RS119 != nil {
+		rs, err = core.RunSweep(e.RS119, counts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		baseRS = e.RS119.SerialSeconds(costmodel.P54C())
+	}
+	for i, n := range counts {
+		row := []any{n, ck[i].TotalSeconds, baseCK / ck[i].TotalSeconds, paperT4CK34Speedup[n]}
+		if rs != nil {
+			row = append(row, rs[i].TotalSeconds, baseRS/rs[i].TotalSeconds, paperT4RS119Speedup[n])
+		} else {
+			row = append(row, "-", "-", paperT4RS119Speedup[n])
+		}
+		tb.AddRowf(row...)
+	}
+	return tb, nil
+}
+
+// TableV reproduces the summary comparison (Table V): serial AMD, serial
+// P54C and rckAlign with all 47 slaves.
+func (e *Env) TableV() (*stats.Table, error) {
+	tb := stats.NewTable(
+		"Table V: all-vs-all summary (seconds)",
+		"Dataset", "AMD@2.4GHz", "paper", "P54C@800MHz", "paper", "SCC 47 slaves", "paper",
+		"speedup vs AMD", "speedup vs P54C")
+	for _, d := range []struct {
+		name string
+		pr   *core.PairResults
+	}{{"CK34", e.CK34}, {"RS119", e.RS119}} {
+		if d.pr == nil {
+			continue
+		}
+		r, err := core.Run(d.pr, 47, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		amd := d.pr.SerialSeconds(costmodel.AMD24())
+		p54 := d.pr.SerialSeconds(costmodel.P54C())
+		ref := paperT5[d.name]
+		tb.AddRowf(d.name, amd, ref[0], p54, ref[1], r.TotalSeconds, ref[2],
+			amd/r.TotalSeconds, p54/r.TotalSeconds)
+	}
+	return tb, nil
+}
+
+// Figure5 renders the paper's Figure 5 as an ASCII plot: CK34
+// all-vs-all time (log scale) vs slave cores for rckAlign and the
+// distributed baseline.
+func (e *Env) Figure5(width, height int) (string, error) {
+	counts := core.OddSlaveCounts(47)
+	rck, err := core.RunSweep(e.CK34, counts, core.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	dst, err := dist.RunSweep(e.CK34, counts, dist.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	p := stats.NewPlot("Figure 5: CK34 all-vs-all time vs slave cores (log scale)",
+		"number of cores", "time in sec")
+	p.LogY = true
+	var xs, yr, yd []float64
+	for i, n := range counts {
+		xs = append(xs, float64(n))
+		yr = append(yr, rck[i].TotalSeconds)
+		yd = append(yd, dst[i].TotalSeconds)
+	}
+	p.Add(stats.Series{Name: "TM-align (distributed)", Marker: '+', X: xs, Y: yd})
+	p.Add(stats.Series{Name: "rckAlign", Marker: '*', X: xs, Y: yr})
+	return p.Render(width, height), nil
+}
+
+// Figure6 renders the paper's Figure 6: rckAlign speedup vs slave cores
+// for both datasets.
+func (e *Env) Figure6(width, height int) (string, error) {
+	counts := core.OddSlaveCounts(47)
+	p := stats.NewPlot("Figure 6: rckAlign speedup vs slave cores",
+		"number of cores", "speedup factor")
+	for _, d := range []struct {
+		name   string
+		marker byte
+		pr     *core.PairResults
+	}{{"RS119", '#', e.RS119}, {"CK34", '*', e.CK34}} {
+		if d.pr == nil {
+			continue
+		}
+		rs, err := core.RunSweep(d.pr, counts, core.DefaultConfig())
+		if err != nil {
+			return "", err
+		}
+		base := d.pr.SerialSeconds(costmodel.P54C())
+		var xs, ys []float64
+		for i, n := range counts {
+			xs = append(xs, float64(n))
+			ys = append(ys, base/rs[i].TotalSeconds)
+		}
+		p.Add(stats.Series{Name: d.name, Marker: d.marker, X: xs, Y: ys})
+	}
+	return p.Render(width, height), nil
+}
+
+// SchedulingAblation quantifies the paper's load-balancing future-work
+// item: FIFO vs LPT vs SPT vs Random job ordering at several core
+// counts (CK34).
+func (e *Env) SchedulingAblation() (*stats.Table, error) {
+	tb := stats.NewTable(
+		"Ablation: job ordering (CK34 all-vs-all, seconds)",
+		"Slaves", "FIFO", "LPT", "SPT", "Random", "LPT gain")
+	for _, n := range []int{7, 15, 31, 47} {
+		times := map[sched.Order]float64{}
+		for _, o := range []sched.Order{sched.FIFO, sched.LPT, sched.SPT, sched.Random} {
+			cfg := core.DefaultConfig()
+			cfg.Order = o
+			cfg.OrderSeed = 1
+			r, err := core.Run(e.CK34, n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			times[o] = r.TotalSeconds
+		}
+		tb.AddRowf(n, times[sched.FIFO], times[sched.LPT], times[sched.SPT], times[sched.Random],
+			fmt.Sprintf("%.1f%%", 100*(times[sched.FIFO]-times[sched.LPT])/times[sched.FIFO]))
+	}
+	return tb, nil
+}
+
+// HierarchyAblation compares the flat single master against two-level
+// master trees (CK34), the paper's proposed fix for the master
+// bottleneck.
+func (e *Env) HierarchyAblation() (*stats.Table, error) {
+	tb := stats.NewTable(
+		"Ablation: hierarchical masters (CK34 all-vs-all, seconds; worker-slave count held equal)",
+		"Workers", "Flat", "2 sub-masters", "4 sub-masters")
+	for _, n := range []int{8, 16, 32, 40} {
+		row := []any{n}
+		for _, h := range []int{0, 2, 4} {
+			cfg := core.DefaultConfig()
+			cfg.Hierarchy = h
+			r, err := core.Run(e.CK34, n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r.TotalSeconds)
+		}
+		tb.AddRowf(row...)
+	}
+	return tb, nil
+}
+
+// FasterCoresAblation tests the conjecture the paper closes with: "it
+// is possible that the single master strategy would become the
+// bottleneck, if slave processes were running on faster cores", and
+// that a hierarchy of masters would relieve it. Core clocks are scaled
+// 1x..32x while the mesh stays fixed; efficiency at 47 slaves is
+// reported for the flat farm and a 4-sub-master tree (with the same 47
+// total cores: 43 workers + 4 sub-masters).
+func (e *Env) FasterCoresAblation() (*stats.Table, error) {
+	tb := stats.NewTable(
+		"Ablation: faster cores (CK34, 47 slave cores, mesh speed fixed)",
+		"Core clock", "Flat time (s)", "Flat efficiency", "Master busy", "Tree time (s)")
+	for _, mult := range []float64{1, 16, 256, 4096, 65536} {
+		cfg := core.DefaultConfig()
+		cfg.Chip.CPU.FreqHz *= mult
+		rec := trace.New()
+		cfg.Trace = rec
+		serial := e.CK34.SerialSeconds(cfg.Chip.CPU)
+		r, err := core.Run(e.CK34, 47, cfg)
+		if err != nil {
+			return nil, err
+		}
+		masterBusy := 0.0
+		if r.TotalSeconds > 0 {
+			masterBusy = rec.BusySeconds(scc.New(sim.NewEngine(), cfg.Chip).CoreName(cfg.MasterCore)) / r.TotalSeconds
+		}
+		tcfg := cfg
+		tcfg.Trace = nil
+		tcfg.Hierarchy = 4
+		rt, err := core.Run(e.CK34, 43, tcfg)
+		if err != nil {
+			return nil, err
+		}
+		eff := serial / r.TotalSeconds / 47
+		tb.AddRowf(fmt.Sprintf("%.1f GHz", cfg.Chip.CPU.FreqHz/1e9),
+			r.TotalSeconds, eff, fmt.Sprintf("%.1f%%", 100*masterBusy), rt.TotalSeconds)
+	}
+	return tb, nil
+}
+
+// MCPSCPartitionAblation studies the paper's MC-PSC open question —
+// how to split the chip's cores among comparison methods of very
+// different complexity — by running a multi-criteria all-vs-all task
+// (TM-align + gapless-RMSD + contact-overlap) under equal and
+// cost-proportional partitions of 12 slave cores.
+func MCPSCPartitionAblation() (*stats.Table, error) {
+	ds := synth.Small(10, 2468)
+	methods := []mcpsc.Method{
+		mcpsc.TMAlign{Opt: tmalign.FastOptions()},
+		mcpsc.GaplessRMSD{},
+		mcpsc.ContactOverlap{},
+	}
+	tb := stats.NewTable(
+		"Ablation: MC-PSC core partitioning (10 chains, 3 methods, 12 slaves)",
+		"Strategy", "Partition", "Makespan (s)")
+	for _, strat := range []struct {
+		name string
+		part []int
+	}{
+		{"equal", mcpsc.EqualPartition(len(methods), 12)},
+		{"proportional", mcpsc.ProportionalPartition(ds, methods, 12, costmodel.P54C())},
+	} {
+		r, err := mcpsc.RunAllVsAll(ds, methods, strat.part, mcpsc.DefaultRunConfig())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRowf(strat.name, fmt.Sprintf("%v", strat.part), r.TotalSeconds)
+	}
+	return tb, nil
+}
+
+// WriteAll regenerates every table (and the figure series, which share
+// the tables' data) to w.
+func (e *Env) WriteAll(w io.Writer) error {
+	fmt.Fprintln(w, TableI().String())
+	t2, err := e.TableII()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, t2.String())
+	fmt.Fprintln(w, e.TableIII().String())
+	t4, err := e.TableIV()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, t4.String())
+	t5, err := e.TableV()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, t5.String())
+	sa, err := e.SchedulingAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, sa.String())
+	ha, err := e.HierarchyAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, ha.String())
+	fc, err := e.FasterCoresAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, fc.String())
+	mp, err := MCPSCPartitionAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, mp.String())
+	return nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rckalign/internal/core"
+	"rckalign/internal/costmodel"
+	"rckalign/internal/dist"
+	"rckalign/internal/tmalign"
+)
+
+// These tests lock in the reproduction quality documented in
+// EXPERIMENTS.md, using the committed pair-result caches. They skip
+// when the caches are absent (regenerating them natively takes ~36 CPU
+// minutes; see testdata/paircache).
+
+func cacheDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join("..", "..", "testdata", "paircache")
+	if _, err := os.Stat(filepath.Join(dir, "CK34.gob")); err != nil {
+		t.Skipf("pair cache missing: %v", err)
+	}
+	return dir
+}
+
+func TestReproductionCK34Calibration(t *testing.T) {
+	env, err := LoadCK34Only(cacheDir(t), tmalign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p54 := env.CK34.SerialSeconds(costmodel.P54C())
+	amd := env.CK34.SerialSeconds(costmodel.AMD24())
+	// The calibration rows must stay on Table III within 1%.
+	if rel(p54, 2029) > 0.01 {
+		t.Errorf("CK34 P54C serial = %v, want ~2029 (calibrated)", p54)
+	}
+	if rel(amd, 406) > 0.01 {
+		t.Errorf("CK34 AMD serial = %v, want ~406 (calibrated)", amd)
+	}
+}
+
+func TestReproductionSpeedupShape(t *testing.T) {
+	env, err := LoadCK34Only(cacheDir(t), tmalign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := env.CK34.SerialSeconds(costmodel.P54C())
+	// Mid-sweep point: paper 8.52x at 9 slaves; we accept 8-9.5.
+	r9, err := core.Run(env.CK34, 9, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := base / r9.TotalSeconds; sp < 8 || sp > 9.5 {
+		t.Errorf("9-slave speedup = %v, want ~8.5-9", sp)
+	}
+	// Endpoint: paper 36.2x; our lower-variance dataset gives ~42; the
+	// claim being locked is "near-linear, within [34, 47]".
+	r47, err := core.Run(env.CK34, 47, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := base / r47.TotalSeconds; sp < 34 || sp > 47 {
+		t.Errorf("47-slave speedup = %v, want near-linear", sp)
+	}
+}
+
+func TestReproductionDistributedGap(t *testing.T) {
+	env, err := LoadCK34Only(cacheDir(t), tmalign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Experiment I's shape: the distributed baseline is 2-3x slower at
+	// both ends of the sweep.
+	for _, n := range []int{1, 47} {
+		rck, err := core.Run(env.CK34, n, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := dist.Run(env.CK34, n, dist.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := dst.TotalSeconds / rck.TotalSeconds
+		if ratio < 1.8 || ratio > 3.2 {
+			t.Errorf("slaves=%d: dist/rck = %v, want the paper's ~2-2.6x", n, ratio)
+		}
+	}
+}
+
+func TestReproductionRS119ScalesBetter(t *testing.T) {
+	dir := cacheDir(t)
+	if _, err := os.Stat(filepath.Join(dir, "RS119.gob")); err != nil {
+		t.Skipf("RS119 cache missing: %v", err)
+	}
+	env, err := Load(dir, tmalign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckBase := env.CK34.SerialSeconds(costmodel.P54C())
+	rsBase := env.RS119.SerialSeconds(costmodel.P54C())
+	ck, err := core.Run(env.CK34, 47, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := core.Run(env.RS119, 47, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spCK := ckBase / ck.TotalSeconds
+	spRS := rsBase / rs.TotalSeconds
+	// Figure 6's headline: the larger dataset scales better.
+	if spRS <= spCK {
+		t.Errorf("RS119 speedup (%v) should exceed CK34's (%v)", spRS, spCK)
+	}
+	// Paper: 44.78x; we lock [42, 47.01].
+	if spRS < 42 || spRS > 47.01 {
+		t.Errorf("RS119 47-slave speedup = %v, want ~45", spRS)
+	}
+}
+
+func rel(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}

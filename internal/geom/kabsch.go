@@ -1,0 +1,169 @@
+package geom
+
+import "math"
+
+// Superpose computes the rigid transform t that, applied to the mobile
+// point set p, minimises the RMSD to the fixed point set q
+// (min over rotations R, translations T of sum |R*p_i + T - q_i|^2).
+// The two slices must have equal length n >= 1. It returns the optimal
+// transform and the minimal RMSD.
+//
+// The rotation is found with Horn's quaternion method: the optimal
+// rotation is the eigenvector for the largest eigenvalue of a symmetric
+// 4x4 matrix built from the covariance of the centred point sets. Unlike
+// plain Kabsch/SVD this never produces a reflection.
+func Superpose(p, q []Vec3) (Transform, float64) {
+	if len(p) != len(q) {
+		panic("geom: Superpose point sets differ in length")
+	}
+	n := len(p)
+	if n == 0 {
+		panic("geom: Superpose on empty point sets")
+	}
+	cp := Centroid(p)
+	cq := Centroid(q)
+
+	// Covariance matrix S = sum (p_i - cp) (q_i - cq)^T and the squared
+	// spreads, accumulated in one pass.
+	var s Mat3
+	var ep, eq float64 // sum |p_i - cp|^2, sum |q_i - cq|^2
+	for i := 0; i < n; i++ {
+		a := p[i].Sub(cp)
+		b := q[i].Sub(cq)
+		ep += a.Norm2()
+		eq += b.Norm2()
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				s[r][c] += a[r] * b[c]
+			}
+		}
+	}
+
+	// Horn's symmetric 4x4 key matrix.
+	k := [4][4]float64{
+		{s[0][0] + s[1][1] + s[2][2], s[1][2] - s[2][1], s[2][0] - s[0][2], s[0][1] - s[1][0]},
+		{s[1][2] - s[2][1], s[0][0] - s[1][1] - s[2][2], s[0][1] + s[1][0], s[2][0] + s[0][2]},
+		{s[2][0] - s[0][2], s[0][1] + s[1][0], -s[0][0] + s[1][1] - s[2][2], s[1][2] + s[2][1]},
+		{s[0][1] - s[1][0], s[2][0] + s[0][2], s[1][2] + s[2][1], -s[0][0] - s[1][1] + s[2][2]},
+	}
+	lambda, quat := maxEigen4(k)
+
+	r := quatToMat(quat)
+	// Residual: E = ep + eq - 2*lambda (clamped, can go slightly negative
+	// from rounding for exact matches).
+	e := ep + eq - 2*lambda
+	if e < 0 {
+		e = 0
+	}
+	rmsd := math.Sqrt(e / float64(n))
+
+	t := Transform{R: r}
+	t.T = cq.Sub(r.MulVec(cp))
+	return t, rmsd
+}
+
+// RMSD returns the root-mean-square deviation between two equal-length
+// point sets without superposing them.
+func RMSD(p, q []Vec3) float64 {
+	if len(p) != len(q) {
+		panic("geom: RMSD point sets differ in length")
+	}
+	if len(p) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range p {
+		s += p[i].Dist2(q[i])
+	}
+	return math.Sqrt(s / float64(len(p)))
+}
+
+// SuperposedRMSD is a convenience wrapper returning only the minimal RMSD
+// after optimal superposition.
+func SuperposedRMSD(p, q []Vec3) float64 {
+	_, r := Superpose(p, q)
+	return r
+}
+
+// quatToMat converts a unit quaternion (w, x, y, z) to a rotation matrix.
+func quatToMat(q [4]float64) Mat3 {
+	w, x, y, z := q[0], q[1], q[2], q[3]
+	return Mat3{
+		{w*w + x*x - y*y - z*z, 2 * (x*y - w*z), 2 * (x*z + w*y)},
+		{2 * (x*y + w*z), w*w - x*x + y*y - z*z, 2 * (y*z - w*x)},
+		{2 * (x*z - w*y), 2 * (y*z + w*x), w*w - x*x - y*y + z*z},
+	}
+}
+
+// maxEigen4 returns the largest eigenvalue of the symmetric 4x4 matrix a
+// and its (unit) eigenvector, using cyclic Jacobi sweeps. Jacobi is exact
+// enough here (the matrix is tiny and symmetric) and has no numerical
+// failure modes for this use.
+func maxEigen4(a [4][4]float64) (float64, [4]float64) {
+	// v accumulates the rotations; starts as identity.
+	var v [4][4]float64
+	for i := 0; i < 4; i++ {
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 64; sweep++ {
+		off := 0.0
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if a[i][j] == 0 {
+					continue
+				}
+				// Compute the Jacobi rotation (c, s) that zeroes a[i][j].
+				theta := (a[j][j] - a[i][i]) / (2 * a[i][j])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation: a = J^T a J on rows/cols i, j.
+				for k := 0; k < 4; k++ {
+					aik, ajk := a[i][k], a[j][k]
+					a[i][k] = c*aik - s*ajk
+					a[j][k] = s*aik + c*ajk
+				}
+				for k := 0; k < 4; k++ {
+					aki, akj := a[k][i], a[k][j]
+					a[k][i] = c*aki - s*akj
+					a[k][j] = s*aki + c*akj
+				}
+				for k := 0; k < 4; k++ {
+					vki, vkj := v[k][i], v[k][j]
+					v[k][i] = c*vki - s*vkj
+					v[k][j] = s*vki + c*vkj
+				}
+			}
+		}
+	}
+	// Pick the largest eigenvalue on the diagonal.
+	best := 0
+	for i := 1; i < 4; i++ {
+		if a[i][i] > a[best][best] {
+			best = i
+		}
+	}
+	var vec [4]float64
+	for k := 0; k < 4; k++ {
+		vec[k] = v[k][best]
+	}
+	// Normalise (guards against drift over sweeps).
+	n := math.Sqrt(vec[0]*vec[0] + vec[1]*vec[1] + vec[2]*vec[2] + vec[3]*vec[3])
+	if n > 0 {
+		for k := range vec {
+			vec[k] /= n
+		}
+	}
+	return a[best][best], vec
+}

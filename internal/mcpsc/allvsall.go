@@ -1,0 +1,234 @@
+package mcpsc
+
+import (
+	"fmt"
+
+	"rckalign/internal/core"
+	"rckalign/internal/costmodel"
+	"rckalign/internal/rcce"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/scc"
+	"rckalign/internal/sched"
+	"rckalign/internal/sim"
+	"rckalign/internal/synth"
+)
+
+// The paper's concluding future work: "extending the framework to
+// support all-to-all multi-criteria PSC and studying the performance
+// characteristics of such a system... would require assessment of
+// optimal strategies for the partitioning of the cores dedicated to
+// different PSC algorithms, since the algorithm complexities may vary."
+// RunAllVsAll implements that system, and EqualPartition /
+// ProportionalPartition are two core-partitioning strategies whose
+// performance the ablation compares.
+
+// AllVsAllResult reports a simulated multi-criteria all-vs-all run.
+type AllVsAllResult struct {
+	// Similarity[m][i][j] is method m's score for structure pair (i,j)
+	// (symmetric, diagonal 1).
+	Similarity map[string][][]float64
+	// TotalSeconds is the simulated makespan.
+	TotalSeconds float64
+	// SlavesPerMethod records the partition used.
+	SlavesPerMethod map[string]int
+	// BusySecondsPerMethod sums the compute seconds charged by each
+	// method's slaves (for partition-balance analysis).
+	BusySecondsPerMethod map[string]float64
+}
+
+// EqualPartition assigns slaves round-robin to methods.
+func EqualPartition(methods int, slaves int) []int {
+	out := make([]int, methods)
+	for i := 0; i < slaves; i++ {
+		out[i%methods]++
+	}
+	return out
+}
+
+// ProportionalPartition estimates each method's per-pair cost on a
+// probe pair from the dataset and allocates slaves proportionally
+// (each method gets at least one). This is the "assess the algorithm
+// complexities" strategy the paper anticipates.
+func ProportionalPartition(ds *synth.Dataset, methods []Method, slaves int, cpu costmodel.CPU) []int {
+	costs := make([]float64, len(methods))
+	a, b := ds.Structures[0], ds.Structures[ds.Len()/2]
+	for i, m := range methods {
+		s := m.Compare(a, b)
+		costs[i] = cpu.Seconds(s.Ops)
+		if costs[i] <= 0 {
+			costs[i] = 1e-9
+		}
+	}
+	out := make([]int, len(methods))
+	assigned := 0
+	for i := range methods {
+		out[i] = 1
+		assigned++
+	}
+	for assigned < slaves {
+		// Give the next slave to the method with the highest remaining
+		// cost per assigned slave.
+		best, bestLoad := 0, -1.0
+		for i := range methods {
+			load := costs[i] / float64(out[i])
+			if load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		out[best]++
+		assigned++
+	}
+	return out
+}
+
+// RunAllVsAll simulates multi-criteria all-vs-all PSC: every method
+// scores every distinct pair, with the slave cores split among methods
+// according to partition (len(methods) entries summing to the slave
+// count; each >= 1). Comparisons run natively and charge their measured
+// ops to the simulated cores.
+func RunAllVsAll(ds *synth.Dataset, methods []Method, partition []int, cfg RunConfig) (AllVsAllResult, error) {
+	if len(methods) == 0 {
+		return AllVsAllResult{}, fmt.Errorf("mcpsc: no methods")
+	}
+	if len(partition) != len(methods) {
+		return AllVsAllResult{}, fmt.Errorf("mcpsc: partition has %d entries for %d methods", len(partition), len(methods))
+	}
+	slaves := 0
+	for i, n := range partition {
+		if n < 1 {
+			return AllVsAllResult{}, fmt.Errorf("mcpsc: method %d got %d slaves", i, n)
+		}
+		slaves += n
+	}
+	if slaves > cfg.Chip.NumCores()-1 {
+		return AllVsAllResult{}, fmt.Errorf("mcpsc: %d slaves exceed chip capacity", slaves)
+	}
+
+	engine := sim.NewEngine()
+	chip := scc.New(engine, cfg.Chip)
+	comm := rcce.New(chip)
+
+	slaveIDs := make([]int, 0, slaves)
+	for c := 0; len(slaveIDs) < slaves; c++ {
+		if c == cfg.MasterCore {
+			continue
+		}
+		slaveIDs = append(slaveIDs, c)
+	}
+	team := rckskel.NewTeam(comm, cfg.MasterCore, slaveIDs)
+
+	// Contiguous partition assignment.
+	methodOf := map[int]int{}
+	idx := 0
+	out := AllVsAllResult{
+		Similarity:           map[string][][]float64{},
+		SlavesPerMethod:      map[string]int{},
+		BusySecondsPerMethod: map[string]float64{},
+	}
+	for m, n := range partition {
+		out.SlavesPerMethod[methods[m].Name()] = n
+		for k := 0; k < n; k++ {
+			methodOf[slaveIDs[idx]] = m
+			idx++
+		}
+	}
+
+	pairs := sched.AllVsAll(ds.Len())
+	for _, m := range methods {
+		mat := make([][]float64, ds.Len())
+		for i := range mat {
+			mat[i] = make([]float64, ds.Len())
+			mat[i][i] = 1
+		}
+		out.Similarity[m.Name()] = mat
+	}
+
+	queues := make([][]rckskel.Job, len(methods))
+	for m := range methods {
+		queues[m] = make([]rckskel.Job, len(pairs))
+		for k, p := range pairs {
+			queues[m][k] = rckskel.Job{
+				ID:      m*len(pairs) + k,
+				Payload: p,
+				Bytes:   core.StructBytes(ds.Structures[p.I].Len()) + core.StructBytes(ds.Structures[p.J].Len()),
+			}
+		}
+	}
+	heads := make([]int, len(methods))
+	cpu := cfg.Chip.CPU
+
+	team.StartSlavesWith(func(slave int) rckskel.Handler {
+		m := methods[methodOf[slave]]
+		return func(job rckskel.Job) (any, costmodel.Counter, int) {
+			p := job.Payload.(sched.Pair)
+			s := m.Compare(ds.Structures[p.I], ds.Structures[p.J])
+			return s, s.Ops, 64
+		}
+	})
+
+	chip.SpawnCore(cfg.MasterCore, func(p *sim.Process) {
+		chip.Compute(p, costmodel.Counter{ResiduesLoaded: uint64(ds.TotalResidues())})
+		team.FARMDynamic(p, func(slave int) (rckskel.Job, bool) {
+			m := methodOf[slave]
+			if heads[m] >= len(queues[m]) {
+				return rckskel.Job{}, false
+			}
+			j := queues[m][heads[m]]
+			heads[m]++
+			return j, true
+		}, func(r rckskel.Result) {
+			s := r.Payload.(Score)
+			pair := pairs[r.JobID%len(pairs)]
+			mat := out.Similarity[s.Method]
+			mat[pair.I][pair.J] = s.Value
+			mat[pair.J][pair.I] = s.Value
+			out.BusySecondsPerMethod[s.Method] += cpu.Seconds(s.Ops)
+		})
+		team.Terminate(p)
+		out.TotalSeconds = p.Now()
+	})
+	if err := engine.Run(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// ConsensusMatrix fuses the per-method matrices of an all-vs-all run
+// into one consensus similarity matrix (z-score averaged per pair
+// vector across methods, rescaled to rank order only — use for
+// clustering/retrieval, not as a calibrated score).
+func (r AllVsAllResult) ConsensusMatrix() [][]float64 {
+	var names []string
+	for name := range r.Similarity {
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	n := len(r.Similarity[names[0]])
+	// Flatten upper triangles per method, z-score, average, refill.
+	var vectors [][]float64
+	var order [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			order = append(order, [2]int{i, j})
+		}
+	}
+	for _, name := range names {
+		v := make([]float64, len(order))
+		for k, ij := range order {
+			v[k] = r.Similarity[name][ij[0]][ij[1]]
+		}
+		vectors = append(vectors, v)
+	}
+	cons := Consensus(vectors)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for k, ij := range order {
+		out[ij[0]][ij[1]] = cons[k]
+		out[ij[1]][ij[0]] = cons[k]
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package mcpsc
+
+import (
+	"rckalign/internal/costmodel"
+	"rckalign/internal/geom"
+	"rckalign/internal/pdb"
+	"rckalign/internal/tmscore"
+)
+
+// CE implements a compact variant of the Combinatorial Extension method
+// (Shindyalov & Bourne 1998): structurally similar octamer fragment
+// pairs (AFPs — aligned fragment pairs, judged by intra-fragment
+// distance-matrix agreement, no superposition needed) are chained into
+// the best monotone path by dynamic programming, and the resulting
+// alignment is scored with a TM-score rotation search so the similarity
+// value is commensurable with the other methods.
+//
+// CE belongs to a different algorithm family than TM-align (distance
+// matrices vs. iterative superposition), which is exactly what MC-PSC
+// wants from an extra criterion.
+type CE struct {
+	// FragLen is the AFP length (CE default 8).
+	FragLen int
+	// MaxGap bounds the residue gap between consecutive AFPs on either
+	// chain (CE default 30).
+	MaxGap int
+	// D0 is the distance-matrix dissimilarity threshold for accepting
+	// an AFP (CE's D0, default 3.0 A).
+	D0 float64
+}
+
+// Name implements Method.
+func (CE) Name() string { return "ce" }
+
+func (m CE) params() (frag, maxGap int, d0 float64) {
+	frag = m.FragLen
+	if frag <= 0 {
+		frag = 8
+	}
+	maxGap = m.MaxGap
+	if maxGap <= 0 {
+		maxGap = 30
+	}
+	d0 = m.D0
+	if d0 <= 0 {
+		d0 = 3.0
+	}
+	return frag, maxGap, d0
+}
+
+// afpDissimilarity is CE's fragment distance measure: the mean absolute
+// difference of the two fragments' intra-fragment CA distances, sampled
+// over the (k, k+2..) pairs.
+func afpDissimilarity(x, y []geom.Vec3, i, j, frag int, ops *costmodel.Counter) float64 {
+	sum := 0.0
+	n := 0
+	for k := 0; k < frag-2; k++ {
+		for l := k + 2; l < frag; l++ {
+			dx := x[i+k].Dist(x[i+l])
+			dy := y[j+k].Dist(y[j+l])
+			d := dx - dy
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			n++
+		}
+	}
+	ops.AddScore(n)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Compare implements Method.
+func (m CE) Compare(a, b *pdb.Structure) Score {
+	frag, maxGap, d0 := m.params()
+	x, y := a.CAs(), b.CAs()
+	var ops costmodel.Counter
+	n1, n2 := len(x)-frag+1, len(y)-frag+1
+	if n1 < 1 || n2 < 1 {
+		return Score{Method: m.Name(), Ops: ops}
+	}
+
+	// AFP grid: afp[i][j] > 0 means fragments (i..i+frag) and
+	// (j..j+frag) match, storing a similarity score in (0, 1].
+	afp := make([][]float64, n1)
+	for i := range afp {
+		afp[i] = make([]float64, n2)
+		for j := 0; j < n2; j++ {
+			if d := afpDissimilarity(x, y, i, j, frag, &ops); d < d0 {
+				afp[i][j] = 1 - d/d0
+			}
+		}
+	}
+
+	// Path assembly: dp[i][j] = best chain score of a path ending with
+	// the AFP at (i, j); predecessors end at least frag earlier on both
+	// chains, within MaxGap. Gap steps are mildly penalised.
+	const gapPenalty = 0.1
+	dp := make([][]float64, n1)
+	from := make([][][2]int, n1)
+	for i := range dp {
+		dp[i] = make([]float64, n1*0+n2)
+		from[i] = make([][2]int, n2)
+		for j := range from[i] {
+			from[i][j] = [2]int{-1, -1}
+		}
+	}
+	best := 0.0
+	bi, bj := -1, -1
+	cells := 0
+	for i := 0; i < n1; i++ {
+		for j := 0; j < n2; j++ {
+			if afp[i][j] == 0 {
+				continue
+			}
+			dp[i][j] = afp[i][j]
+			// Scan predecessors.
+			for pi := i - frag; pi >= i-frag-maxGap && pi >= 0; pi-- {
+				for pj := j - frag; pj >= j-frag-maxGap && pj >= 0; pj-- {
+					if dp[pi][pj] == 0 {
+						continue
+					}
+					g1 := i - frag - pi
+					g2 := j - frag - pj
+					gp := gapPenalty * float64(min(g1, 1)+min(g2, 1))
+					cand := dp[pi][pj] + afp[i][j] - gp
+					if cand > dp[i][j] {
+						dp[i][j] = cand
+						from[i][j] = [2]int{pi, pj}
+					}
+					cells++
+				}
+			}
+			if dp[i][j] > best {
+				best = dp[i][j]
+				bi, bj = i, j
+			}
+		}
+	}
+	ops.AddDP(n1*n2 + cells)
+
+	if bi < 0 {
+		return Score{Method: m.Name(), Ops: ops}
+	}
+
+	// Reconstruct the alignment from the best path.
+	type span struct{ i, j int }
+	var path []span
+	for i, j := bi, bj; i >= 0; {
+		path = append(path, span{i, j})
+		nxt := from[i][j]
+		i, j = nxt[0], nxt[1]
+	}
+	var xa, ya []geom.Vec3
+	for k := len(path) - 1; k >= 0; k-- {
+		s := path[k]
+		for t := 0; t < frag; t++ {
+			xa = append(xa, x[s.i+t])
+			ya = append(ya, y[s.j+t])
+		}
+	}
+
+	// Score the alignment on the TM scale (normalised by the shorter
+	// chain, as SearchParams does) so values compare across methods.
+	minLen := len(x)
+	if len(y) < minLen {
+		minLen = len(y)
+	}
+	p := tmscore.FinalParams(float64(minLen))
+	tm, _ := p.Search(xa, ya, 8, &ops)
+	if tm > 1 {
+		tm = 1
+	}
+	return Score{Method: m.Name(), Value: tm, Ops: ops}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package mcpsc
+
+import (
+	"testing"
+
+	"rckalign/internal/geom"
+	"rckalign/internal/pdb"
+	"rckalign/internal/synth"
+)
+
+func TestCESelfComparison(t *testing.T) {
+	ds := synth.Small(4, 90)
+	s := ds.Structures[0]
+	sc := CE{}.Compare(s, s)
+	if sc.Value < 0.9 {
+		t.Errorf("CE self similarity = %v, want ~1", sc.Value)
+	}
+	if sc.Ops.DPCells == 0 || sc.Ops.ScoreEvals == 0 {
+		t.Errorf("CE charged no ops: %+v", sc.Ops)
+	}
+}
+
+func TestCERigidMotionInvariant(t *testing.T) {
+	ds := synth.Small(4, 91)
+	s := ds.Structures[0]
+	moved := s.Clone()
+	g := geom.Transform{R: geom.AxisAngle(geom.V(3, 1, 2), 2.2), T: geom.V(-20, 14, 8)}
+	for i := range moved.Residues {
+		moved.Residues[i].CA = g.Apply(moved.Residues[i].CA)
+	}
+	sc := CE{}.Compare(s, moved)
+	// CE works on internal distance matrices, so rigid motion must not
+	// matter at all.
+	if sc.Value < 0.9 {
+		t.Errorf("CE on rigid copy = %v, want ~1", sc.Value)
+	}
+}
+
+func TestCEDiscriminatesFamilies(t *testing.T) {
+	ds := synth.Small(6, 92)
+	same := CE{}.Compare(ds.Structures[0], ds.Structures[1]).Value
+	diff := CE{}.Compare(ds.Structures[0], ds.Structures[4]).Value
+	if same <= diff {
+		t.Errorf("CE: family %v <= cross-family %v", same, diff)
+	}
+	if same < 0.4 {
+		t.Errorf("CE family similarity = %v, too low", same)
+	}
+}
+
+func TestCEShortChains(t *testing.T) {
+	tiny := pdb.FromCAs("tiny", make([]geom.Vec3, 5), "AAAAA")
+	ok := synth.Small(4, 93).Structures[0]
+	sc := CE{}.Compare(tiny, ok)
+	if sc.Value != 0 {
+		t.Errorf("chains shorter than a fragment should score 0, got %v", sc.Value)
+	}
+	// Degenerate all-zero coordinates must not crash either.
+	sc2 := CE{}.Compare(tiny, tiny)
+	if sc2.Value < 0 || sc2.Value > 1 {
+		t.Errorf("degenerate CE = %v", sc2.Value)
+	}
+}
+
+func TestCEParamsDefaults(t *testing.T) {
+	frag, gap, d0 := CE{}.params()
+	if frag != 8 || gap != 30 || d0 != 3.0 {
+		t.Errorf("defaults = %d %d %v", frag, gap, d0)
+	}
+	frag, gap, d0 = CE{FragLen: 6, MaxGap: 10, D0: 2}.params()
+	if frag != 6 || gap != 10 || d0 != 2 {
+		t.Errorf("overrides = %d %d %v", frag, gap, d0)
+	}
+}
+
+func TestCEInMCPSCRun(t *testing.T) {
+	ds := synth.Small(6, 94)
+	methods := []Method{CE{}, GaplessRMSD{}}
+	r, err := RunOneVsAll(ds, 0, methods, 4, DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := r.PerMethod["ce"]
+	if len(scores) != 5 {
+		t.Fatalf("ce scores = %v", scores)
+	}
+	// Family targets (positions of fa02, fa03 in Targets) must outscore
+	// the fb targets on average.
+	var fa, fb float64
+	var nfa, nfb int
+	for pos, tgt := range r.Targets {
+		if ds.Structures[tgt].ID[:2] == "fa" {
+			fa += scores[pos]
+			nfa++
+		} else {
+			fb += scores[pos]
+			nfb++
+		}
+	}
+	if fa/float64(nfa) <= fb/float64(nfb) {
+		t.Errorf("CE in MC-PSC does not separate families: fa=%v fb=%v", fa/float64(nfa), fb/float64(nfb))
+	}
+}

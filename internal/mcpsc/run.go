@@ -1,0 +1,174 @@
+package mcpsc
+
+import (
+	"fmt"
+
+	"rckalign/internal/core"
+	"rckalign/internal/costmodel"
+	"rckalign/internal/rcce"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/scc"
+	"rckalign/internal/sim"
+	"rckalign/internal/synth"
+)
+
+// RunConfig tunes a simulated MC-PSC execution.
+type RunConfig struct {
+	Chip       scc.Config
+	MasterCore int
+}
+
+// DefaultRunConfig mirrors the rckAlign setup (master on core 0).
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Chip: scc.DefaultConfig(), MasterCore: 0}
+}
+
+// RunResult is the outcome of a simulated multi-criteria one-vs-all
+// query.
+type RunResult struct {
+	// Targets lists the dataset indices compared against the query.
+	Targets []int
+	// PerMethod maps method name to similarity scores (aligned with
+	// Targets).
+	PerMethod map[string][]float64
+	// Consensus is the z-score-fused similarity (aligned with Targets).
+	Consensus []float64
+	// Ranking orders positions in Targets by descending consensus.
+	Ranking []int
+	// TotalSeconds is the simulated makespan.
+	TotalSeconds float64
+	// SlavesPerMethod records the core partition sizes.
+	SlavesPerMethod map[string]int
+}
+
+// RunOneVsAll simulates a multi-criteria one-vs-all query on the SCC:
+// the master broadcasts the query and each target structure; the slave
+// cores are partitioned among the methods (round-robin), so every method
+// processes every target on its own cores, concurrently with the other
+// methods — the paper's MC-PSC proposal. Comparisons execute natively
+// inside the simulation and charge their measured operation counts to
+// the simulated cores.
+func RunOneVsAll(ds *synth.Dataset, query int, methods []Method, slaves int, cfg RunConfig) (RunResult, error) {
+	if query < 0 || query >= ds.Len() {
+		return RunResult{}, fmt.Errorf("mcpsc: query %d outside dataset", query)
+	}
+	if len(methods) == 0 {
+		return RunResult{}, fmt.Errorf("mcpsc: no methods")
+	}
+	if slaves < len(methods) {
+		return RunResult{}, fmt.Errorf("mcpsc: need at least one slave per method (%d methods, %d slaves)", len(methods), slaves)
+	}
+	if slaves > cfg.Chip.NumCores()-1 {
+		return RunResult{}, fmt.Errorf("mcpsc: %d slaves exceed chip capacity %d", slaves, cfg.Chip.NumCores()-1)
+	}
+
+	engine := sim.NewEngine()
+	chip := scc.New(engine, cfg.Chip)
+	comm := rcce.New(chip)
+
+	slaveIDs := make([]int, 0, slaves)
+	for c := 0; len(slaveIDs) < slaves; c++ {
+		if c == cfg.MasterCore {
+			continue
+		}
+		slaveIDs = append(slaveIDs, c)
+	}
+	team := rckskel.NewTeam(comm, cfg.MasterCore, slaveIDs)
+
+	// Partition slaves among methods round-robin.
+	methodOf := map[int]int{}
+	perMethodSlaves := map[string]int{}
+	for i, core_ := range slaveIDs {
+		m := i % len(methods)
+		methodOf[core_] = m
+		perMethodSlaves[methods[m].Name()]++
+	}
+
+	var targets []int
+	for i := 0; i < ds.Len(); i++ {
+		if i != query {
+			targets = append(targets, i)
+		}
+	}
+
+	// Per-method job queues over the same target list.
+	type payload struct {
+		method int
+		pos    int // index into targets
+	}
+	queues := make([][]rckskel.Job, len(methods))
+	for m := range methods {
+		queues[m] = make([]rckskel.Job, len(targets))
+		for pos, tgt := range targets {
+			queues[m][pos] = rckskel.Job{
+				ID:      m*len(targets) + pos,
+				Payload: payload{method: m, pos: pos},
+				Bytes:   core.StructBytes(ds.Structures[query].Len()) + core.StructBytes(ds.Structures[tgt].Len()),
+			}
+		}
+	}
+	heads := make([]int, len(methods))
+
+	handler := func(slave int) rckskel.Handler {
+		m := methods[methodOf[slave]]
+		return func(job rckskel.Job) (any, costmodel.Counter, int) {
+			pl := job.Payload.(payload)
+			s := m.Compare(ds.Structures[query], ds.Structures[targets[pl.pos]])
+			return s, s.Ops, 64
+		}
+	}
+	team.StartSlavesWith(handler)
+
+	out := RunResult{
+		Targets:         targets,
+		PerMethod:       map[string][]float64{},
+		SlavesPerMethod: perMethodSlaves,
+	}
+	for _, m := range methods {
+		out.PerMethod[m.Name()] = make([]float64, len(targets))
+	}
+
+	chip.SpawnCore(cfg.MasterCore, func(p *sim.Process) {
+		chip.Compute(p, costmodel.Counter{ResiduesLoaded: uint64(ds.TotalResidues())})
+		team.FARMDynamic(p, func(slave int) (rckskel.Job, bool) {
+			m := methodOf[slave]
+			if heads[m] >= len(queues[m]) {
+				return rckskel.Job{}, false
+			}
+			j := queues[m][heads[m]]
+			heads[m]++
+			return j, true
+		}, func(r rckskel.Result) {
+			s := r.Payload.(Score)
+			pl := payloadOf(r.JobID, len(targets))
+			out.PerMethod[s.Method][pl] = s.Value
+		})
+		team.Terminate(p)
+		out.TotalSeconds = p.Now()
+	})
+	if err := engine.Run(); err != nil {
+		return out, err
+	}
+
+	var vectors [][]float64
+	for _, m := range methods {
+		vectors = append(vectors, out.PerMethod[m.Name()])
+	}
+	out.Consensus = Consensus(vectors)
+	out.Ranking = Rank(out.Consensus)
+	return out, nil
+}
+
+// payloadOf recovers the target position from a job id (inverse of the
+// ID layout in RunOneVsAll).
+func payloadOf(jobID, numTargets int) int { return jobID % numTargets }
+
+// RankedTargets maps a ranking (positions into Targets) to dataset
+// indices.
+func (r RunResult) RankedTargets() []int {
+	out := make([]int, len(r.Ranking))
+	for i, pos := range r.Ranking {
+		out[i] = r.Targets[pos]
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package mcpsc
+
+import (
+	"rckalign/internal/costmodel"
+	"rckalign/internal/pdb"
+	"rckalign/internal/seqalign"
+)
+
+// SeqIdentity is a pure sequence comparison method: global affine-gap
+// alignment of the amino-acid sequences under a simplified substitution
+// model, scored as the fraction of identities over the shorter chain.
+// In an MC-PSC consensus it contributes the evolutionary signal that
+// structure-only methods ignore — and its disagreement with them on
+// remote homologs ("evidence of homology even in sequentially divergent
+// proteins", as the paper's introduction puts it) is exactly why
+// consensus methods exist.
+type SeqIdentity struct {
+	// Match/Mismatch/GapOpen/GapExtend override the scoring scheme
+	// (defaults 2 / -1 / -4 / -0.5).
+	Match, Mismatch, GapOpen, GapExtend float64
+}
+
+// Name implements Method.
+func (SeqIdentity) Name() string { return "seq-identity" }
+
+// physchemClass groups amino acids so conservative substitutions score
+// between match and mismatch (a coarse BLOSUM stand-in).
+func physchemClass(aa byte) int {
+	switch aa {
+	case 'A', 'V', 'L', 'I', 'M', 'F', 'W', 'Y':
+		return 0 // hydrophobic
+	case 'S', 'T', 'N', 'Q', 'C', 'G', 'P':
+		return 1 // polar / small
+	case 'D', 'E':
+		return 2 // acidic
+	case 'K', 'R', 'H':
+		return 3 // basic
+	}
+	return 4
+}
+
+// Compare implements Method.
+func (m SeqIdentity) Compare(a, b *pdb.Structure) Score {
+	match, mismatch := m.Match, m.Mismatch
+	if match == 0 {
+		match = 2
+	}
+	if mismatch == 0 {
+		mismatch = -1
+	}
+	gapOpen, gapExtend := m.GapOpen, m.GapExtend
+	if gapOpen == 0 {
+		gapOpen = -4
+	}
+	if gapExtend == 0 {
+		gapExtend = -0.5
+	}
+	s1, s2 := a.Sequence(), b.Sequence()
+	var ops costmodel.Counter
+	minLen := len(s1)
+	if len(s2) < minLen {
+		minLen = len(s2)
+	}
+	if minLen == 0 {
+		return Score{Method: m.Name(), Ops: ops}
+	}
+	al := seqalign.NewAligner()
+	invmap := make([]int, len(s2))
+	al.AlignAffine(len(s1), len(s2), func(i, j int) float64 {
+		if s1[i] == s2[j] {
+			return match
+		}
+		if physchemClass(s1[i]) == physchemClass(s2[j]) {
+			return (match + mismatch) / 2
+		}
+		return mismatch
+	}, gapOpen, gapExtend, invmap, &ops)
+
+	identical := 0
+	for j, i := range invmap {
+		if i >= 0 && s1[i] == s2[j] {
+			identical++
+		}
+	}
+	return Score{Method: m.Name(), Value: float64(identical) / float64(minLen), Ops: ops}
+}

@@ -1,0 +1,59 @@
+package mcpsc
+
+import (
+	"testing"
+
+	"rckalign/internal/pdb"
+	"rckalign/internal/synth"
+)
+
+func TestSeqIdentitySelf(t *testing.T) {
+	s := synth.Small(4, 95).Structures[0]
+	sc := SeqIdentity{}.Compare(s, s)
+	if sc.Value < 0.999 {
+		t.Errorf("self sequence identity = %v, want 1", sc.Value)
+	}
+	if sc.Ops.DPCells == 0 {
+		t.Error("no ops charged")
+	}
+}
+
+func TestSeqIdentityFamilySignal(t *testing.T) {
+	// Family members share ~70% sequence (MutateFrac 0.3); unrelated
+	// random sequences share ~5-15%.
+	ds := synth.Small(6, 96)
+	same := SeqIdentity{}.Compare(ds.Structures[0], ds.Structures[1]).Value
+	diff := SeqIdentity{}.Compare(ds.Structures[0], ds.Structures[4]).Value
+	if same <= diff {
+		t.Errorf("family identity %v <= cross %v", same, diff)
+	}
+	if same < 0.4 {
+		t.Errorf("family identity %v too low", same)
+	}
+	if diff > 0.4 {
+		t.Errorf("cross-family identity %v too high", diff)
+	}
+}
+
+func TestSeqIdentityEmpty(t *testing.T) {
+	empty := &pdb.Structure{ID: "e"}
+	s := synth.Small(4, 97).Structures[0]
+	if sc := (SeqIdentity{}).Compare(empty, s); sc.Value != 0 {
+		t.Errorf("empty sequence scored %v", sc.Value)
+	}
+}
+
+func TestSeqIdentityInConsensus(t *testing.T) {
+	// The point of MC-PSC: structure + sequence methods agree on family
+	// ranking for these synthetic sets.
+	ds := synth.Small(6, 98)
+	methods := []Method{SeqIdentity{}, GaplessRMSD{}}
+	r, err := RunOneVsAll(ds, 0, methods, 4, DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2 := map[int]bool{r.RankedTargets()[0]: true, r.RankedTargets()[1]: true}
+	if !top2[1] || !top2[2] {
+		t.Errorf("consensus with sequence method misranked: %v", r.RankedTargets())
+	}
+}

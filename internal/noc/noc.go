@@ -1,0 +1,278 @@
+// Package noc models the SCC's packet-switched 2D mesh network-on-chip:
+// XY dimension-order routing over a WxH router grid, per-hop latency, and
+// per-link bandwidth with optional contention (links as FIFO resources).
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"rckalign/internal/sim"
+)
+
+// Coord is a router position in the mesh.
+type Coord struct{ X, Y int }
+
+// String renders the coordinate.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	// Width and Height of the router grid (SCC: 6x4).
+	Width, Height int
+	// HopSeconds is the router traversal + link latency per hop.
+	HopSeconds float64
+	// BytesPerSecond is the bandwidth of one mesh link.
+	BytesPerSecond float64
+	// PacketBytes is the store-and-forward packetisation unit.
+	PacketBytes int
+	// ModelContention serialises transfers crossing the same link; when
+	// false transfers see only latency + serialisation (infinite links).
+	ModelContention bool
+	// Wormhole switches the contention model from store-and-forward
+	// (each link held for the full message serialisation, hop by hop)
+	// to wormhole switching (all route links held together while the
+	// message streams through once) — the SCC's actual switching mode.
+	// Wormhole is faster for multi-hop messages but couples the links.
+	Wormhole bool
+}
+
+// DefaultConfig returns the SCC mesh: 6x4 routers at 2 GHz with 4-cycle
+// hops and 16-byte flits at 2 bytes/cycle per link.
+func DefaultConfig() Config {
+	return Config{
+		Width:           6,
+		Height:          4,
+		HopSeconds:      4.0 / 2e9, // 4 mesh cycles @ 2 GHz
+		BytesPerSecond:  3.2e9,     // ~2 bytes/cycle/link @ 2 GHz... conservative effective rate
+		PacketBytes:     256,
+		ModelContention: true,
+	}
+}
+
+// Mesh is an instantiated network.
+type Mesh struct {
+	cfg Config
+	// Directed links: right/left between horizontal neighbours, up/down
+	// between vertical neighbours. Indexed by [from][to-direction].
+	links map[linkKey]*sim.Resource
+}
+
+type linkKey struct {
+	from Coord
+	to   Coord
+}
+
+// New builds a mesh for the given engine (the engine pointer is not
+// needed: resources are engine-agnostic) and configuration.
+func New(cfg Config) *Mesh {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		panic("noc: mesh must be at least 1x1")
+	}
+	if cfg.PacketBytes <= 0 {
+		cfg.PacketBytes = 256
+	}
+	m := &Mesh{cfg: cfg, links: map[linkKey]*sim.Resource{}}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			c := Coord{x, y}
+			for _, n := range []Coord{{x + 1, y}, {x - 1, y}, {x, y + 1}, {x, y - 1}} {
+				if n.X < 0 || n.X >= cfg.Width || n.Y < 0 || n.Y >= cfg.Height {
+					continue
+				}
+				k := linkKey{c, n}
+				m.links[k] = sim.NewResource(fmt.Sprintf("link%v->%v", c, n), 1)
+			}
+		}
+	}
+	return m
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// InBounds reports whether c is a valid router coordinate.
+func (m *Mesh) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < m.cfg.Width && c.Y >= 0 && c.Y < m.cfg.Height
+}
+
+// Route returns the XY dimension-order route from a to b, excluding a and
+// including b. Routing goes along X first, then Y (deadlock-free on a
+// mesh).
+func (m *Mesh) Route(a, b Coord) []Coord {
+	if !m.InBounds(a) || !m.InBounds(b) {
+		panic("noc: route endpoint outside mesh")
+	}
+	var route []Coord
+	cur := a
+	for cur.X != b.X {
+		if b.X > cur.X {
+			cur.X++
+		} else {
+			cur.X--
+		}
+		route = append(route, cur)
+	}
+	for cur.Y != b.Y {
+		if b.Y > cur.Y {
+			cur.Y++
+		} else {
+			cur.Y--
+		}
+		route = append(route, cur)
+	}
+	return route
+}
+
+// Hops returns the XY hop count between two routers.
+func (m *Mesh) Hops(a, b Coord) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// LatencySeconds returns the no-contention time to move `bytes` from a to
+// b: per-hop latency plus serialisation on each hop (store-and-forward at
+// packet granularity, approximated as route-length * serialisation for
+// the first packet + pipelined remainder).
+func (m *Mesh) LatencySeconds(a, b Coord, bytes int) float64 {
+	hops := m.Hops(a, b)
+	if hops == 0 {
+		hops = 1 // same-tile transfer still crosses the local MIU
+	}
+	ser := float64(bytes) / m.cfg.BytesPerSecond
+	first := float64(minInt(bytes, m.cfg.PacketBytes)) / m.cfg.BytesPerSecond
+	// First packet pays latency on every hop; the rest pipelines behind.
+	return float64(hops)*(m.cfg.HopSeconds+first) + (ser - first)
+}
+
+// Transfer moves `bytes` from a to b within process p, consuming
+// simulated time; with contention modelling it occupies each directed
+// link on the route for its serialisation time, in order.
+func (m *Mesh) Transfer(p *sim.Process, a, b Coord, bytes int) {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	if !m.cfg.ModelContention {
+		p.Wait(m.LatencySeconds(a, b, bytes))
+		return
+	}
+	route := m.Route(a, b)
+	if len(route) == 0 {
+		// Same router (e.g. both cores on one tile): local MIU copy.
+		p.Wait(m.cfg.HopSeconds + float64(bytes)/m.cfg.BytesPerSecond)
+		return
+	}
+	ser := float64(bytes) / m.cfg.BytesPerSecond
+	if m.cfg.Wormhole {
+		// Acquire every link on the route in XY order (a total order, so
+		// no deadlock), stream the message once, release.
+		links := make([]*sim.Resource, len(route))
+		cur := a
+		for i, next := range route {
+			links[i] = m.links[linkKey{cur, next}]
+			links[i].Acquire(p)
+			cur = next
+		}
+		p.Wait(float64(len(route))*m.cfg.HopSeconds + ser)
+		for _, l := range links {
+			l.Release(p)
+		}
+		return
+	}
+	cur := a
+	for _, next := range route {
+		link := m.links[linkKey{cur, next}]
+		link.Acquire(p)
+		p.Wait(m.cfg.HopSeconds + ser)
+		link.Release(p)
+		cur = next
+	}
+}
+
+// LinkUtilization returns total busy link-seconds accumulated across all
+// links (contention mode only).
+func (m *Mesh) LinkUtilization() float64 {
+	var total float64
+	for _, l := range m.links {
+		total += l.BusySeconds()
+	}
+	return total
+}
+
+// LinkLoad describes one directed link's accumulated traffic.
+type LinkLoad struct {
+	From, To    Coord
+	BusySeconds float64
+}
+
+// TopLinks returns the n busiest directed links, most loaded first —
+// the mesh hot-spot analysis. Ties break deterministically by
+// coordinate.
+func (m *Mesh) TopLinks(n int) []LinkLoad {
+	loads := make([]LinkLoad, 0, len(m.links))
+	for k, l := range m.links {
+		loads = append(loads, LinkLoad{From: k.from, To: k.to, BusySeconds: l.BusySeconds()})
+	}
+	sort.Slice(loads, func(a, b int) bool {
+		if loads[a].BusySeconds != loads[b].BusySeconds {
+			return loads[a].BusySeconds > loads[b].BusySeconds
+		}
+		if loads[a].From != loads[b].From {
+			return less(loads[a].From, loads[b].From)
+		}
+		return less(loads[a].To, loads[b].To)
+	})
+	if n > len(loads) {
+		n = len(loads)
+	}
+	return loads[:n]
+}
+
+func less(a, b Coord) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+// Heatmap renders per-router total adjacent-link busy seconds as a text
+// grid (row 0 at the top), normalised to the hottest router: digits 0-9.
+func (m *Mesh) Heatmap() string {
+	heat := make([]float64, m.cfg.Width*m.cfg.Height)
+	peak := 0.0
+	for k, l := range m.links {
+		for _, c := range [2]Coord{k.from, k.to} {
+			i := c.Y*m.cfg.Width + c.X
+			heat[i] += l.BusySeconds() / 2
+			if heat[i] > peak {
+				peak = heat[i]
+			}
+		}
+	}
+	var b []byte
+	for y := 0; y < m.cfg.Height; y++ {
+		for x := 0; x < m.cfg.Width; x++ {
+			d := byte('0')
+			if peak > 0 {
+				d = '0' + byte(9*heat[y*m.cfg.Width+x]/peak)
+			}
+			b = append(b, d)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

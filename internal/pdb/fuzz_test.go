@@ -1,0 +1,36 @@
+package pdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the PDB parser with arbitrary input: it must never
+// panic, and any structure it does return must be internally consistent.
+func FuzzParse(f *testing.F) {
+	f.Add(samplePDB)
+	f.Add("ATOM      1  CA  ALA A   1       0.000   0.000   0.000  1.00  0.00           C\nEND\n")
+	f.Add("HETATM    2  CA  MSE A   2       3.800   0.000   0.000  1.00  0.00           C\n")
+	f.Add("MODEL 1\nENDMDL\n")
+	f.Add("")
+	f.Add("ATOM")
+	f.Add("ATOM      1  CA  ALA A   x       0.000   0.000   0.000")
+	f.Add(strings.Repeat("ATOM      1  CA  ALA A   1       0.000   0.000   0.000  1.00  0.00\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			t.Error("Parse returned an empty structure without error")
+		}
+		if len(s.Sequence()) != s.Len() {
+			t.Error("sequence length mismatch")
+		}
+		for _, r := range s.Residues {
+			if len(r.Name) > 3 {
+				t.Errorf("residue name %q too long", r.Name)
+			}
+		}
+	})
+}

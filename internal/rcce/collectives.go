@@ -1,0 +1,123 @@
+package rcce
+
+import (
+	"sort"
+
+	"rckalign/internal/sim"
+)
+
+// Collective operations in the style of RCCE's extended interface
+// (RCCE_bcast / RCCE_reduce / RCCE_allreduce): every participant calls
+// the same function from its own core process (SPMD), and the
+// implementation moves data over a binomial tree of point-to-point
+// Send/Recv pairs, so the cost model inherits the mesh timing
+// automatically.
+
+// rankOf returns self's position in the sorted participant list, and
+// the sorted list.
+func rankOf(self int, participants []int) (int, []int) {
+	ps := append([]int(nil), participants...)
+	sort.Ints(ps)
+	for r, c := range ps {
+		if c == self {
+			return r, ps
+		}
+	}
+	panic("rcce: caller is not a participant of the collective")
+}
+
+// Bcast distributes the root's payload to every participant. Each
+// participant passes its own core id as self and the same participant
+// set; the root passes the payload, others' payload argument is
+// ignored. Returns the broadcast payload on every core.
+func (c *Comm) Bcast(p *sim.Process, self, root int, participants []int, bytes int, payload any) any {
+	rank, ps := rankOf(self, participants)
+	rootRank, _ := rankOf(root, participants)
+	n := len(ps)
+	// Rotate ranks so the root is rank 0.
+	vrank := (rank - rootRank + n) % n
+	unrotate := func(vr int) int { return ps[(vr+rootRank)%n] }
+
+	if vrank != 0 {
+		// Receive from the binomial parent: clear the lowest set bit.
+		parent := vrank & (vrank - 1)
+		m := c.Recv(p, unrotate(parent), self)
+		payload = m.Payload
+	}
+	// Forward to children: vrank | (1<<k) for k above our lowest set
+	// bit range.
+	for bit := 1; bit < n; bit <<= 1 {
+		if vrank&bit != 0 {
+			break // we only send after the bit position of our own id
+		}
+		child := vrank | bit
+		if child < n {
+			c.Send(p, self, unrotate(child), bytes, payload)
+		}
+	}
+	return payload
+}
+
+// ReduceFn combines two partial values into one.
+type ReduceFn func(a, b any) any
+
+// Reduce combines every participant's value with fn down a binomial
+// tree onto the root, which receives the full combination; other cores
+// return nil. fn must be associative and commutative.
+func (c *Comm) Reduce(p *sim.Process, self, root int, participants []int, bytes int, value any, fn ReduceFn) any {
+	rank, ps := rankOf(self, participants)
+	rootRank, _ := rankOf(root, participants)
+	n := len(ps)
+	vrank := (rank - rootRank + n) % n
+	unrotate := func(vr int) int { return ps[(vr+rootRank)%n] }
+
+	acc := value
+	// Gather from children (reverse of the bcast order).
+	for bit := 1; bit < n; bit <<= 1 {
+		if vrank&bit != 0 {
+			break
+		}
+		child := vrank | bit
+		if child < n {
+			m := c.Recv(p, unrotate(child), self)
+			acc = fn(acc, m.Payload)
+		}
+	}
+	if vrank != 0 {
+		parent := vrank & (vrank - 1)
+		c.Send(p, self, unrotate(parent), bytes, acc)
+		return nil
+	}
+	return acc
+}
+
+// AllReduce combines every participant's value and delivers the result
+// to all of them (Reduce onto the lowest-ranked core, then Bcast).
+func (c *Comm) AllReduce(p *sim.Process, self int, participants []int, bytes int, value any, fn ReduceFn) any {
+	_, ps := rankOf(self, participants)
+	root := ps[0]
+	acc := c.Reduce(p, self, root, participants, bytes, value, fn)
+	return c.Bcast(p, self, root, participants, bytes, acc)
+}
+
+// Gather collects every participant's value at the root in rank order;
+// non-roots return nil. Implemented as direct sends (RCCE's flat
+// gather), which keeps the ordering deterministic.
+func (c *Comm) Gather(p *sim.Process, self, root int, participants []int, bytes int, value any) []any {
+	rank, ps := rankOf(self, participants)
+	rootRank, _ := rankOf(root, participants)
+	if rank != rootRank {
+		c.Send(p, self, root, bytes, value)
+		return nil
+	}
+	out := make([]any, len(ps))
+	out[rank] = value
+	for r, core := range ps {
+		if r == rootRank {
+			continue
+		}
+		m := c.Recv(p, core, self)
+		out[r] = m.Payload
+	}
+	return out
+}

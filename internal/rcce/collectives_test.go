@@ -1,0 +1,147 @@
+package rcce
+
+import (
+	"testing"
+
+	"rckalign/internal/sim"
+)
+
+// runCollective spawns body on each participant core and runs the sim.
+func runCollective(t *testing.T, c *Comm, participants []int, body func(p *sim.Process, self int)) {
+	t.Helper()
+	for _, core := range participants {
+		core := core
+		c.Chip().SpawnCore(core, func(p *sim.Process) { body(p, core) })
+	}
+	if err := c.Chip().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	e, c := newComm()
+	_ = e
+	parts := []int{0, 3, 7, 12, 21, 33, 40, 47}
+	got := map[int]any{}
+	runCollective(t, c, parts, func(p *sim.Process, self int) {
+		v := c.Bcast(p, self, 7, parts, 256, pick(self == 7, "payload", nil))
+		got[self] = v
+	})
+	for _, core := range parts {
+		if got[core] != "payload" {
+			t.Errorf("core %d got %v", core, got[core])
+		}
+	}
+}
+
+func TestBcastNonPowerOfTwo(t *testing.T) {
+	_, c := newComm()
+	parts := []int{2, 5, 9, 11, 30} // 5 participants
+	got := map[int]any{}
+	runCollective(t, c, parts, func(p *sim.Process, self int) {
+		got[self] = c.Bcast(p, self, 2, parts, 64, pick(self == 2, 42, nil))
+	})
+	for _, core := range parts {
+		if got[core] != 42 {
+			t.Errorf("core %d got %v", core, got[core])
+		}
+	}
+}
+
+func TestReduceSums(t *testing.T) {
+	_, c := newComm()
+	parts := []int{1, 4, 8, 15, 16, 23, 42}
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	results := map[int]any{}
+	runCollective(t, c, parts, func(p *sim.Process, self int) {
+		results[self] = c.Reduce(p, self, 8, parts, 8, self, sum)
+	})
+	want := 0
+	for _, core := range parts {
+		want += core
+	}
+	if results[8] != want {
+		t.Errorf("root reduce = %v, want %d", results[8], want)
+	}
+	for _, core := range parts {
+		if core != 8 && results[core] != nil {
+			t.Errorf("non-root %d got %v", core, results[core])
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	_, c := newComm()
+	parts := []int{0, 5, 10, 20, 40, 47}
+	max := func(a, b any) any {
+		if a.(int) > b.(int) {
+			return a
+		}
+		return b
+	}
+	results := map[int]any{}
+	runCollective(t, c, parts, func(p *sim.Process, self int) {
+		results[self] = c.AllReduce(p, self, parts, 8, self*self, max)
+	})
+	for _, core := range parts {
+		if results[core] != 47*47 {
+			t.Errorf("core %d allreduce = %v", core, results[core])
+		}
+	}
+}
+
+func TestGatherOrdered(t *testing.T) {
+	_, c := newComm()
+	parts := []int{9, 3, 27, 14} // unsorted on purpose
+	var rootGot []any
+	runCollective(t, c, parts, func(p *sim.Process, self int) {
+		out := c.Gather(p, self, 14, parts, 16, self*10)
+		if self == 14 {
+			rootGot = out
+		} else if out != nil {
+			t.Errorf("non-root %d got %v", self, out)
+		}
+	})
+	// Rank order is sorted core order: 3, 9, 14, 27.
+	want := []any{30, 90, 140, 270}
+	for i, v := range want {
+		if rootGot[i] != v {
+			t.Fatalf("gather = %v, want %v", rootGot, want)
+		}
+	}
+}
+
+func TestCollectiveTakesTime(t *testing.T) {
+	_, c := newComm()
+	parts := []int{0, 15, 31, 47}
+	var done float64
+	runCollective(t, c, parts, func(p *sim.Process, self int) {
+		c.Bcast(p, self, 0, parts, 64*1024, pick(self == 0, "big", nil))
+		if p.Now() > done {
+			done = p.Now()
+		}
+	})
+	if done <= 0 {
+		t.Error("broadcast consumed no simulated time")
+	}
+}
+
+func TestNonParticipantPanics(t *testing.T) {
+	_, c := newComm()
+	c.Chip().SpawnCore(5, func(p *sim.Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for non-participant")
+			}
+		}()
+		c.Bcast(p, 5, 0, []int{0, 1}, 8, nil)
+	})
+	_ = c.Chip().Engine().Run() // the panicking process never parks cleanly
+}
+
+func pick(cond bool, a, b any) any {
+	if cond {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package rcce
+
+import (
+	"rckalign/internal/sim"
+)
+
+// Non-blocking operations in the style of the iRCCE extension library
+// (Clauss et al.), which SCC applications used to overlap communication
+// with computation. ISend/IRecv return immediately with a Request; the
+// transfer progresses concurrently (driven by a helper "DMA" process in
+// the simulation) and Request.Wait joins it.
+
+// Request is a handle on an in-flight non-blocking operation.
+type Request struct {
+	latch *sim.Latch
+	msg   Message // filled by IRecv on completion
+}
+
+// Done reports whether the operation has completed (never blocks).
+func (r *Request) Done() bool { return r.latch.IsSet() }
+
+// Wait blocks the calling process until the operation completes. For
+// IRecv requests it returns the received message; for ISend the zero
+// Message.
+func (r *Request) Wait(p *sim.Process) Message {
+	r.latch.Wait(p)
+	return r.msg
+}
+
+// ISend starts a non-blocking send from core src to core dst and
+// returns immediately. The payload is transferred with the same MPB
+// chunking and mesh timing as Send; completion is observable via the
+// returned Request.
+func (c *Comm) ISend(p *sim.Process, src, dst, bytes int, payload any) *Request {
+	r := &Request{latch: sim.NewLatch("isend")}
+	c.chip.Engine().Spawn("isend-dma", func(hp *sim.Process) {
+		c.Send(hp, src, dst, bytes, payload)
+		r.latch.Set()
+	})
+	_ = p
+	return r
+}
+
+// IRecv starts a non-blocking receive on core dst for a message from
+// src and returns immediately; Request.Wait yields the message.
+func (c *Comm) IRecv(p *sim.Process, src, dst int) *Request {
+	r := &Request{latch: sim.NewLatch("irecv")}
+	c.chip.Engine().Spawn("irecv-dma", func(hp *sim.Process) {
+		r.msg = c.Recv(hp, src, dst)
+		r.latch.Set()
+	})
+	_ = p
+	return r
+}
+
+// WaitAll joins a set of requests and returns their messages in order.
+func WaitAll(p *sim.Process, reqs ...*Request) []Message {
+	out := make([]Message, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait(p)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package rcce
+
+import (
+	"testing"
+
+	"rckalign/internal/costmodel"
+	"rckalign/internal/sim"
+)
+
+func TestISendIRecvDeliver(t *testing.T) {
+	e, c := newComm()
+	var got Message
+	c.Chip().SpawnCore(0, func(p *sim.Process) {
+		req := c.ISend(p, 0, 9, 4096, "async")
+		req.Wait(p)
+		if !req.Done() {
+			t.Error("ISend not done after Wait")
+		}
+	})
+	c.Chip().SpawnCore(9, func(p *sim.Process) {
+		req := c.IRecv(p, 0, 9)
+		got = req.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != "async" || got.Bytes != 4096 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestOverlapComputeWithCommunication(t *testing.T) {
+	// A core that ISends and then computes should finish in
+	// ~max(compute, transfer), not the sum: the defining property of
+	// non-blocking communication.
+	computeOps := costmodel.Counter{DPCells: 50_000_000}
+
+	run := func(nonblocking bool) float64 {
+		e, c := newComm()
+		var done float64
+		c.Chip().SpawnCore(0, func(p *sim.Process) {
+			if nonblocking {
+				req := c.ISend(p, 0, 47, 8*1024*1024, nil) // big transfer
+				c.Chip().Compute(p, computeOps)
+				req.Wait(p)
+			} else {
+				c.Send(p, 0, 47, 8*1024*1024, nil)
+				c.Chip().Compute(p, computeOps)
+			}
+			done = p.Now()
+		})
+		c.Chip().SpawnCore(47, func(p *sim.Process) {
+			c.Recv(p, 0, 47)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	blocking := run(false)
+	overlapped := run(true)
+	if overlapped >= blocking {
+		t.Errorf("non-blocking (%v) should beat blocking (%v)", overlapped, blocking)
+	}
+	compute := c0computeSeconds(computeOps)
+	if overlapped < compute {
+		t.Errorf("overlapped time %v below compute floor %v", overlapped, compute)
+	}
+}
+
+func c0computeSeconds(ops costmodel.Counter) float64 {
+	return costmodel.P54C().Seconds(ops)
+}
+
+func TestDoneBeforeWait(t *testing.T) {
+	e, c := newComm()
+	var wasDone bool
+	c.Chip().SpawnCore(0, func(p *sim.Process) {
+		req := c.ISend(p, 0, 1, 16, 7)
+		p.Wait(1.0) // plenty of time for the 16-byte transfer
+		wasDone = req.Done()
+		req.Wait(p) // must not block now
+	})
+	c.Chip().SpawnCore(1, func(p *sim.Process) {
+		c.Recv(p, 0, 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !wasDone {
+		t.Error("request not done after ample time")
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e, c := newComm()
+	var msgs []Message
+	c.Chip().SpawnCore(5, func(p *sim.Process) {
+		r1 := c.IRecv(p, 0, 5)
+		r2 := c.IRecv(p, 1, 5)
+		msgs = WaitAll(p, r1, r2)
+	})
+	c.Chip().SpawnCore(0, func(p *sim.Process) { c.Send(p, 0, 5, 8, "a") })
+	c.Chip().SpawnCore(1, func(p *sim.Process) { c.Send(p, 1, 5, 8, "b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].Payload != "a" || msgs[1].Payload != "b" {
+		t.Errorf("WaitAll = %v", msgs)
+	}
+}
+
+func TestUnmatchedIRecvDeadlocks(t *testing.T) {
+	e, c := newComm()
+	c.Chip().SpawnCore(3, func(p *sim.Process) {
+		c.IRecv(p, 0, 3).Wait(p)
+	})
+	if err := e.Run(); err == nil {
+		t.Error("expected deadlock for unmatched IRecv")
+	}
+}

@@ -1,0 +1,138 @@
+// Package rcce is a simulation-backed analogue of Intel's RCCE library,
+// the "small library for many-core communication" that the paper's
+// rckskel builds on: blocking point-to-point Send/Recv between SCC cores
+// and a whole-chip barrier. Large messages are chunked through the 8 KB
+// per-core share of the tile MPBs and each chunk crosses the simulated
+// mesh, so transfer times depend on message size, hop distance and link
+// contention exactly as the hardware's would.
+package rcce
+
+import (
+	"fmt"
+
+	"rckalign/internal/scc"
+	"rckalign/internal/sim"
+)
+
+// Message is what travels between cores: an opaque payload plus its
+// modelled wire size.
+type Message struct {
+	Src, Dst int
+	Bytes    int
+	Payload  any
+}
+
+// Comm provides RCCE-style communication on one chip.
+type Comm struct {
+	chip *scc.Chip
+	// pairs[src][dst]: req carries the message at rendezvous; done
+	// releases the receiver when the chunked transfer completes.
+	pairs map[[2]int]*pairChans
+	// flagCost is the time for the master's remote poll of a core's MPB
+	// ready flag (one mesh round trip of a flag-sized packet).
+	barrier *sim.Barrier
+}
+
+type pairChans struct {
+	req  *sim.Chan
+	done *sim.Chan
+}
+
+// New builds a Comm for the chip.
+func New(chip *scc.Chip) *Comm {
+	return &Comm{chip: chip, pairs: map[[2]int]*pairChans{}}
+}
+
+// Chip returns the underlying chip.
+func (c *Comm) Chip() *scc.Chip { return c.chip }
+
+func (c *Comm) pair(src, dst int) *pairChans {
+	k := [2]int{src, dst}
+	pc, ok := c.pairs[k]
+	if !ok {
+		pc = &pairChans{
+			req:  sim.NewChan(fmt.Sprintf("rcce.req.%d->%d", src, dst)),
+			done: sim.NewChan(fmt.Sprintf("rcce.done.%d->%d", src, dst)),
+		}
+		c.pairs[k] = pc
+	}
+	return pc
+}
+
+// chunkOverhead is the per-chunk protocol cost beyond raw transfer: MPB
+// flag write + test&set round trip, a few hundred core cycles.
+func (c *Comm) chunkOverhead() float64 {
+	return 600 / c.chip.Config().CPU.FreqHz
+}
+
+// Send transmits a message from core src (the calling process) to core
+// dst, blocking until the receiver has taken delivery (RCCE_send
+// semantics: synchronous, rendezvous).
+func (c *Comm) Send(p *sim.Process, src, dst, bytes int, payload any) {
+	if bytes < 1 {
+		bytes = 1
+	}
+	pc := c.pair(src, dst)
+	pc.req.Send(p, Message{Src: src, Dst: dst, Bytes: bytes, Payload: payload})
+	// Rendezvous reached: the receiver is parked on done. The sender
+	// stages the payload out of its DRAM (through its quadrant's iMC),
+	// then drives the chunked MPB transfer across the mesh.
+	c.chip.MemAccess(p, src, bytes)
+	chunk := c.chip.Config().MPBPerCore()
+	remaining := bytes
+	for remaining > 0 {
+		n := remaining
+		if n > chunk {
+			n = chunk
+		}
+		c.chip.Transfer(p, src, dst, n)
+		p.Wait(c.chunkOverhead())
+		remaining -= n
+	}
+	pc.done.Send(p, struct{}{})
+}
+
+// Recv blocks the calling process (core dst) until a message from src
+// arrives and its transfer completes, then returns it.
+func (c *Comm) Recv(p *sim.Process, src, dst int) Message {
+	pc := c.pair(src, dst)
+	m := pc.req.Recv(p).(Message)
+	pc.done.Recv(p)
+	return m
+}
+
+// Probe reports whether a sender on (src, dst) is already blocked in
+// Send — the simulation analogue of testing the sender's MPB ready flag.
+// It consumes no simulated time; callers model the flag-read cost with
+// PollCost.
+func (c *Comm) Probe(src, dst int) bool {
+	return c.pair(src, dst).req.Pending() > 0
+}
+
+// PollCost returns the simulated time for core `at` to read the MPB flag
+// of core `of`: one flag-sized mesh round trip.
+func (c *Comm) PollCost(at, of int) float64 {
+	mesh := c.chip.Mesh()
+	hops := mesh.Hops(c.chip.CoordOf(at), c.chip.CoordOf(of))
+	if hops == 0 {
+		hops = 1
+	}
+	cfg := mesh.Config()
+	// Round trip of one flag packet plus the local test.
+	return 2*float64(hops)*cfg.HopSeconds + 32/cfg.BytesPerSecond
+}
+
+// Barrier blocks until every one of n participants has entered
+// (RCCE_barrier over the power-of-two dissemination pattern is modelled
+// as a fixed flag exchange cost per participant).
+func (c *Comm) Barrier(p *sim.Process, n int) {
+	if c.barrier == nil {
+		c.barrier = sim.NewBarrier("rcce", n)
+	}
+	p.Wait(c.PollCost(0, c.chip.NumCores()-1)) // flag exchange cost
+	c.barrier.Wait(p)
+}
+
+// ResetBarrier prepares the barrier for reuse with a new participant
+// count.
+func (c *Comm) ResetBarrier(n int) { c.barrier = sim.NewBarrier("rcce", n) }

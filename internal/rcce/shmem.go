@@ -1,0 +1,64 @@
+package rcce
+
+import (
+	"fmt"
+
+	"rckalign/internal/sim"
+)
+
+// SharedMem models RCCE's off-chip shared memory (RCCE_shmalloc): a
+// region of DRAM behind one memory controller that any core can read or
+// write. Accesses cross the mesh to the region's controller and queue
+// there, so heavily shared regions exhibit the controller bottleneck
+// that made the paper route its data through the master instead.
+type SharedMem struct {
+	comm *Comm
+	name string
+	// home is a core id in the quadrant of the controller hosting the
+	// region (accesses are routed as if issued from the accessor to
+	// that core's controller).
+	homeCore int
+	bytes    int
+}
+
+// Shmalloc allocates a shared region of the given size homed at the
+// memory controller serving homeCore's quadrant.
+func (c *Comm) Shmalloc(name string, homeCore, bytes int) *SharedMem {
+	if bytes < 1 {
+		bytes = 1
+	}
+	return &SharedMem{comm: c, name: name, homeCore: homeCore, bytes: bytes}
+}
+
+// Size returns the region's size in bytes.
+func (s *SharedMem) Size() int { return s.bytes }
+
+// access moves n bytes between the accessing core and the region's
+// home controller.
+func (s *SharedMem) access(p *sim.Process, core, n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.bytes {
+		n = s.bytes
+	}
+	chip := s.comm.chip
+	// Mesh hop from the accessor's tile to the home controller, then
+	// DRAM service at that controller.
+	_, mc := chip.MemControllerOf(s.homeCore)
+	chip.Mesh().Transfer(p, chip.CoordOf(core), mc, n)
+	// Queue at the home controller: modelled by issuing the DRAM access
+	// as the home core's quadrant.
+	chip.MemAccess(p, s.homeCore, n)
+}
+
+// Put writes n bytes of the region from core.
+func (s *SharedMem) Put(p *sim.Process, core, n int) { s.access(p, core, n) }
+
+// Get reads n bytes of the region into core.
+func (s *SharedMem) Get(p *sim.Process, core, n int) { s.access(p, core, n) }
+
+// String identifies the region.
+func (s *SharedMem) String() string {
+	return fmt.Sprintf("shm:%s(%dB@core%d)", s.name, s.bytes, s.homeCore)
+}

@@ -1,0 +1,275 @@
+// Package rckskel reproduces the paper's algorithmic skeleton library of
+// the same name: SEQ, PAR, COLLECT and FARM constructs that orchestrate
+// jobs across SCC cores over the RCCE message-passing layer. The master
+// process distributes application-defined jobs and gathers results by
+// round-robin polling of the slaves, exactly as described in Section IV.
+//
+// A "job" is one application work unit (here: a pairwise protein
+// structure comparison); a "task" is a collection of jobs plus the cores
+// allowed to execute them.
+//
+// Polling model: the real library busy-loops over the slaves' MPB flags.
+// Simulating every individual probe is infeasible (a multi-second job
+// would need ~10^8 probe events), so the simulation is event-driven — a
+// slave "rings" the master when its result flag goes up — and the master
+// is charged the equivalent round-robin discovery cost per collection:
+// on average half a sweep of remote flag reads before it reaches the
+// ready slave. The master remains a serial resource: while it transfers
+// one result, other ready slaves wait, exactly as with real polling.
+package rckskel
+
+import (
+	"fmt"
+
+	"rckalign/internal/costmodel"
+	"rckalign/internal/rcce"
+	"rckalign/internal/sim"
+	"rckalign/internal/trace"
+)
+
+// Job is one unit of work dispatched to a slave core.
+type Job struct {
+	// ID identifies the job in results.
+	ID int
+	// Payload is the application request (structure pair, etc.).
+	Payload any
+	// Bytes is the modelled wire size of the request message.
+	Bytes int
+}
+
+// Result is a slave's answer to one job.
+type Result struct {
+	JobID int
+	Slave int
+	// Payload is the application result.
+	Payload any
+	// Bytes is the modelled wire size of the result message.
+	Bytes int
+}
+
+// Handler executes a job's application work on a slave. It returns the
+// result payload, the operation counts to charge as compute time on the
+// slave's core, and the result's wire size.
+type Handler func(job Job) (payload any, ops costmodel.Counter, resultBytes int)
+
+// terminate is the shutdown sentinel the master sends to each slave.
+type terminate struct{}
+
+// Team manages a master core and a set of slave cores on one chip.
+type Team struct {
+	Comm   *rcce.Comm
+	Master int
+	Slaves []int
+
+	// DiscoveryCostScale scales the master's round-robin polling cost
+	// charged per collected result. 1 models the paper's busy polling;
+	// 0 models an ideal event-driven notification (the polling
+	// ablation).
+	DiscoveryCostScale float64
+
+	// Trace, when non-nil, records per-core activity intervals
+	// ("compute" on slaves, "collect" on the master) for utilization
+	// and Gantt reports.
+	Trace *trace.Recorder
+
+	// doorbell carries "result ready" flags from slaves to the master.
+	doorbell *sim.Chan
+}
+
+// NewTeam builds a team with the master on masterCore and the given
+// slaves. Slave cores must be distinct from the master.
+func NewTeam(comm *rcce.Comm, masterCore int, slaves []int) *Team {
+	for _, s := range slaves {
+		if s == masterCore {
+			panic(fmt.Sprintf("rckskel: core %d cannot be both master and slave", s))
+		}
+	}
+	return &Team{
+		Comm:               comm,
+		Master:             masterCore,
+		Slaves:             append([]int(nil), slaves...),
+		DiscoveryCostScale: 1,
+		doorbell:           sim.NewChan("rckskel.ready"),
+	}
+}
+
+// StartSlaves spawns the slave loop on every slave core: block for a job
+// from the master, execute it (charging its compute time to the core),
+// flag and return the result, repeat until terminated.
+func (t *Team) StartSlaves(h Handler) {
+	t.StartSlavesWith(func(int) Handler { return h })
+}
+
+// StartSlavesWith spawns the slave loops with a per-core handler,
+// supporting the paper's MC-PSC extension where different slaves run
+// different comparison algorithms on the same data.
+func (t *Team) StartSlavesWith(h func(core int) Handler) {
+	for _, core := range t.Slaves {
+		core := core
+		t.Comm.Chip().SpawnCore(core, func(p *sim.Process) {
+			t.slaveLoop(p, core, h(core))
+		})
+	}
+}
+
+func (t *Team) slaveLoop(p *sim.Process, core int, h Handler) {
+	for {
+		m := t.Comm.Recv(p, t.Master, core)
+		if _, done := m.Payload.(terminate); done {
+			return
+		}
+		job := m.Payload.(Job)
+		payload, ops, resultBytes := h(job)
+		computeStart := p.Now()
+		t.Comm.Chip().Compute(p, ops)
+		if t.Trace != nil {
+			t.Trace.Add(t.Comm.Chip().CoreName(core), computeStart, p.Now(), "compute")
+		}
+		if resultBytes < 1 {
+			resultBytes = 1
+		}
+		// Raise the ready flag (the master's poll will find it) and then
+		// post the result.
+		t.doorbell.Send(p, core)
+		t.Comm.Send(p, core, t.Master, resultBytes, Result{
+			JobID: job.ID, Slave: core, Payload: payload, Bytes: resultBytes,
+		})
+	}
+}
+
+// Terminate sends the shutdown sentinel to every slave. Call from the
+// master process after all farms complete.
+func (t *Team) Terminate(p *sim.Process) {
+	for _, core := range t.Slaves {
+		t.Comm.Send(p, t.Master, core, 1, terminate{})
+	}
+}
+
+// discoveryCost is the simulated time the master spends finding a ready
+// slave by round-robin flag polling: on average half a sweep over the
+// slave ring, ending at the ready slave.
+func (t *Team) discoveryCost(slave int) float64 {
+	var sweep float64
+	for _, s := range t.Slaves {
+		sweep += t.Comm.PollCost(t.Master, s)
+	}
+	return sweep/2 + t.Comm.PollCost(t.Master, slave)
+}
+
+// Stats reports what a FARM or COLLECT execution did.
+type Stats struct {
+	// JobsPerSlave[core] counts jobs executed by that core.
+	JobsPerSlave map[int]int
+	// PollProbes estimates individual slave-flag probes by the master
+	// (half a sweep per collection, as charged in simulated time).
+	PollProbes int
+	// MakespanSeconds is the simulated duration (first send to last
+	// collect).
+	MakespanSeconds float64
+}
+
+// collectOne blocks until some slave rings, charges the polling
+// discovery cost, and receives that slave's result.
+func (t *Team) collectOne(p *sim.Process, st *Stats) Result {
+	slave := t.doorbell.Recv(p).(int)
+	collectStart := p.Now()
+	p.Wait(t.DiscoveryCostScale * t.discoveryCost(slave))
+	st.PollProbes += len(t.Slaves)/2 + 1
+	m := t.Comm.Recv(p, slave, t.Master)
+	if t.Trace != nil {
+		t.Trace.Add(t.Comm.Chip().CoreName(t.Master), collectStart, p.Now(), "collect")
+	}
+	res := m.Payload.(Result)
+	st.JobsPerSlave[res.Slave]++
+	return res
+}
+
+// SEQ runs jobs one at a time on the cycle of the team's slaves: job k
+// goes to slave k mod len(Slaves), and the master waits for each result
+// before issuing the next (the paper's task sequencing construct).
+func (t *Team) SEQ(p *sim.Process, jobs []Job, collect func(Result)) Stats {
+	st := Stats{JobsPerSlave: map[int]int{}}
+	start := p.Now()
+	for k, job := range jobs {
+		slave := t.Slaves[k%len(t.Slaves)]
+		t.Comm.Send(p, t.Master, slave, job.Bytes, job)
+		res := t.collectOne(p, &st)
+		if collect != nil {
+			collect(res)
+		}
+	}
+	st.MakespanSeconds = p.Now() - start
+	return st
+}
+
+// PAR assigns jobs[k] to slave k (len(jobs) must not exceed the slave
+// count) and returns as soon as all jobs have been handed over, without
+// waiting for completion (the paper's task mapping construct). Use
+// COLLECT to gather the results.
+func (t *Team) PAR(p *sim.Process, jobs []Job) {
+	if len(jobs) > len(t.Slaves) {
+		panic(fmt.Sprintf("rckskel: PAR got %d jobs for %d slaves", len(jobs), len(t.Slaves)))
+	}
+	for k, job := range jobs {
+		t.Comm.Send(p, t.Master, t.Slaves[k], job.Bytes, job)
+	}
+}
+
+// COLLECT polls the team's slaves until `expect` results have been
+// gathered (the paper's task collection construct).
+func (t *Team) COLLECT(p *sim.Process, expect int, collect func(Result)) Stats {
+	st := Stats{JobsPerSlave: map[int]int{}}
+	start := p.Now()
+	for outstanding := expect; outstanding > 0; outstanding-- {
+		res := t.collectOne(p, &st)
+		if collect != nil {
+			collect(res)
+		}
+	}
+	st.MakespanSeconds = p.Now() - start
+	return st
+}
+
+// FARM is the paper's master-slaves construct: prime every slave with a
+// job, then poll; whenever a slave returns a result, hand it the next
+// job, until all jobs are done. Call from the master process; slaves
+// must already be running.
+func (t *Team) FARM(p *sim.Process, jobs []Job, collect func(Result)) Stats {
+	next := 0
+	return t.FARMDynamic(p, func(int) (Job, bool) {
+		if next >= len(jobs) {
+			return Job{}, false
+		}
+		j := jobs[next]
+		next++
+		return j, true
+	}, collect)
+}
+
+// FARMDynamic is FARM with a pull-based job source: next(slave) supplies
+// the next job for that slave (or reports exhaustion). This supports
+// partitioned farms where different slaves draw from different queues
+// (e.g. one queue per PSC method in MC-PSC).
+func (t *Team) FARMDynamic(p *sim.Process, next func(slave int) (Job, bool), collect func(Result)) Stats {
+	st := Stats{JobsPerSlave: map[int]int{}}
+	start := p.Now()
+	outstanding := 0
+	for _, slave := range t.Slaves {
+		if job, ok := next(slave); ok {
+			t.Comm.Send(p, t.Master, slave, job.Bytes, job)
+			outstanding++
+		}
+	}
+	for ; outstanding > 0; outstanding-- {
+		res := t.collectOne(p, &st)
+		if collect != nil {
+			collect(res)
+		}
+		if job, ok := next(res.Slave); ok {
+			t.Comm.Send(p, t.Master, res.Slave, job.Bytes, job)
+			outstanding++
+		}
+	}
+	st.MakespanSeconds = p.Now() - start
+	return st
+}

@@ -1,0 +1,144 @@
+// Package scc models Intel's Single-chip Cloud Computer: 48 P54C cores on
+// 24 tiles arranged in a 6x4 mesh, with a 16 KB message-passing buffer
+// (MPB) per tile and four memory controllers at the mesh corners
+// (Table I of the paper). Cores are simulated processes whose compute
+// time comes from the cost model; inter-core traffic crosses the noc
+// mesh.
+package scc
+
+import (
+	"fmt"
+
+	"rckalign/internal/costmodel"
+	"rckalign/internal/noc"
+	"rckalign/internal/sim"
+)
+
+// Config describes a chip (defaults reproduce Table I).
+type Config struct {
+	// TilesX x TilesY tiles, CoresPerTile cores each.
+	TilesX, TilesY, CoresPerTile int
+	// MPBBytesPerTile is the per-tile message passing buffer (shared by
+	// the tile's cores; each core owns half).
+	MPBBytesPerTile int
+	// MemControllers is the number of on-die memory controllers.
+	MemControllers int
+	// CPU is the per-core cost profile.
+	CPU costmodel.CPU
+	// Mesh is the NoC configuration.
+	Mesh noc.Config
+	// MemBandwidth is each iMC's DRAM bandwidth (bytes/s).
+	MemBandwidth float64
+	// MemLatencySeconds is the fixed DRAM access latency per request.
+	MemLatencySeconds float64
+}
+
+// DefaultConfig returns the SCC as shipped: 6x4 tiles, 2 cores/tile,
+// 16 KB MPB/tile, 4 iMCs, P54C cores at 800 MHz.
+func DefaultConfig() Config {
+	return Config{
+		TilesX:          6,
+		TilesY:          4,
+		CoresPerTile:    2,
+		MPBBytesPerTile: 16 * 1024,
+		MemControllers:  4,
+		CPU:             costmodel.P54C(),
+		Mesh:            noc.DefaultConfig(),
+		// DDR3-800 per controller, conservative effective rate.
+		MemBandwidth:      5.3e9,
+		MemLatencySeconds: 70e-9,
+	}
+}
+
+// NumTiles returns the tile count.
+func (c Config) NumTiles() int { return c.TilesX * c.TilesY }
+
+// NumCores returns the core count.
+func (c Config) NumCores() int { return c.NumTiles() * c.CoresPerTile }
+
+// MPBTotal returns the chip-wide MPB capacity.
+func (c Config) MPBTotal() int { return c.NumTiles() * c.MPBBytesPerTile }
+
+// MPBPerCore returns each core's share of its tile MPB (the RCCE chunk
+// size for large messages).
+func (c Config) MPBPerCore() int { return c.MPBBytesPerTile / c.CoresPerTile }
+
+// Chip is an instantiated SCC attached to a simulation engine.
+type Chip struct {
+	cfg    Config
+	engine *sim.Engine
+	mesh   *noc.Mesh
+	mcRes  []*sim.Resource // lazily built iMC service queues
+}
+
+// New builds a chip on the given engine.
+func New(e *sim.Engine, cfg Config) *Chip {
+	if cfg.TilesX <= 0 || cfg.TilesY <= 0 || cfg.CoresPerTile <= 0 {
+		panic("scc: invalid tile geometry")
+	}
+	if cfg.Mesh.Width != cfg.TilesX || cfg.Mesh.Height != cfg.TilesY {
+		// The mesh routers sit one per tile.
+		cfg.Mesh.Width = cfg.TilesX
+		cfg.Mesh.Height = cfg.TilesY
+	}
+	return &Chip{cfg: cfg, engine: e, mesh: noc.New(cfg.Mesh)}
+}
+
+// Config returns the chip configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Engine returns the simulation engine.
+func (c *Chip) Engine() *sim.Engine { return c.engine }
+
+// Mesh returns the on-chip network.
+func (c *Chip) Mesh() *noc.Mesh { return c.mesh }
+
+// NumCores returns the chip's core count.
+func (c *Chip) NumCores() int { return c.cfg.NumCores() }
+
+// TileOf returns the tile index of a core (cores are numbered rck00..;
+// two consecutive core ids share a tile, as on the SCC).
+func (c *Chip) TileOf(core int) int {
+	c.checkCore(core)
+	return core / c.cfg.CoresPerTile
+}
+
+// CoordOf returns the mesh router coordinate of a core's tile.
+func (c *Chip) CoordOf(core int) noc.Coord {
+	tile := c.TileOf(core)
+	return noc.Coord{X: tile % c.cfg.TilesX, Y: tile / c.cfg.TilesX}
+}
+
+// CoreName returns the SCC host name of a core (rck00...rck47).
+func (c *Chip) CoreName(core int) string {
+	c.checkCore(core)
+	return fmt.Sprintf("rck%02d", core)
+}
+
+func (c *Chip) checkCore(core int) {
+	if core < 0 || core >= c.cfg.NumCores() {
+		panic(fmt.Sprintf("scc: core %d out of range [0,%d)", core, c.cfg.NumCores()))
+	}
+}
+
+// ComputeSeconds converts an operation count to seconds on one core.
+func (c *Chip) ComputeSeconds(ops costmodel.Counter) float64 {
+	return c.cfg.CPU.Seconds(ops)
+}
+
+// Compute charges the operation count as simulated busy time in process
+// p (which represents code running on one core).
+func (c *Chip) Compute(p *sim.Process, ops costmodel.Counter) {
+	p.Wait(c.ComputeSeconds(ops))
+}
+
+// SpawnCore starts a simulated-core process named after the core id.
+func (c *Chip) SpawnCore(core int, body func(p *sim.Process)) *sim.Process {
+	return c.engine.Spawn(c.CoreName(core), body)
+}
+
+// Transfer moves bytes between two cores over the mesh from within
+// process p. Same-tile transfers cross only the local MIU.
+func (c *Chip) Transfer(p *sim.Process, from, to, bytes int) {
+	c.mesh.Transfer(p, c.CoordOf(from), c.CoordOf(to), bytes)
+}

@@ -1,0 +1,97 @@
+// Package sched generates and orders pairwise-comparison job lists for
+// the one-vs-all and all-vs-all PSC tasks. The paper uses plain FIFO
+// generation order and names load balancing as future work; LPT (longest
+// processing time first) and random shuffling are provided for the
+// scheduling ablation.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Pair indexes two structures in a dataset (I < J for all-vs-all).
+type Pair struct{ I, J int }
+
+// AllVsAll returns all n*(n-1)/2 unordered distinct pairs in row-major
+// (FIFO) order — the order the paper's master generates jobs in.
+func AllVsAll(n int) []Pair {
+	if n < 2 {
+		return nil
+	}
+	pairs := make([]Pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, Pair{i, j})
+		}
+	}
+	return pairs
+}
+
+// OneVsAll returns the n-1 pairs comparing query q against every other
+// structure.
+func OneVsAll(q, n int) []Pair {
+	var pairs []Pair
+	for j := 0; j < n; j++ {
+		if j != q {
+			pairs = append(pairs, Pair{q, j})
+		}
+	}
+	return pairs
+}
+
+// Order selects a job ordering policy.
+type Order int
+
+const (
+	// FIFO keeps generation order (the paper's behaviour).
+	FIFO Order = iota
+	// LPT sorts jobs longest-first, the classic makespan heuristic the
+	// paper suggests investigating.
+	LPT
+	// SPT sorts jobs shortest-first (anti-optimal tail; for contrast).
+	SPT
+	// Random shuffles jobs deterministically by seed.
+	Random
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case FIFO:
+		return "FIFO"
+	case LPT:
+		return "LPT"
+	case SPT:
+		return "SPT"
+	case Random:
+		return "Random"
+	}
+	return "unknown"
+}
+
+// Apply returns a new slice with pairs arranged according to the policy.
+// cost estimates a job's duration (used by LPT/SPT; may be nil for FIFO
+// and Random). seed drives Random.
+func Apply(pairs []Pair, o Order, cost func(Pair) float64, seed int64) []Pair {
+	out := append([]Pair(nil), pairs...)
+	switch o {
+	case FIFO:
+	case LPT:
+		sort.SliceStable(out, func(a, b int) bool { return cost(out[a]) > cost(out[b]) })
+	case SPT:
+		sort.SliceStable(out, func(a, b int) bool { return cost(out[a]) < cost(out[b]) })
+	case Random:
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return out
+}
+
+// LengthProductCost returns a cost estimator proportional to L_i * L_j,
+// the dominant term of TM-align's complexity, given the chain lengths.
+func LengthProductCost(lengths []int) func(Pair) float64 {
+	return func(p Pair) float64 {
+		return float64(lengths[p.I]) * float64(lengths[p.J])
+	}
+}

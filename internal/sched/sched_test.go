@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestAllVsAll(t *testing.T) {
+	pairs := AllVsAll(5)
+	if len(pairs) != 10 {
+		t.Fatalf("5 structures -> %d pairs, want 10", len(pairs))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if p.I >= p.J {
+			t.Errorf("pair %v not ordered", p)
+		}
+		if p.I < 0 || p.J >= 5 {
+			t.Errorf("pair %v out of range", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	if AllVsAll(1) != nil || AllVsAll(0) != nil {
+		t.Error("degenerate sizes should yield nil")
+	}
+	// Paper's dataset sizes.
+	if len(AllVsAll(34)) != 561 {
+		t.Errorf("CK34 pairs = %d, want 561", len(AllVsAll(34)))
+	}
+	if len(AllVsAll(119)) != 7021 {
+		t.Errorf("RS119 pairs = %d, want 7021", len(AllVsAll(119)))
+	}
+}
+
+func TestOneVsAll(t *testing.T) {
+	pairs := OneVsAll(2, 5)
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if p.I != 2 || p.J == 2 {
+			t.Errorf("bad pair %v", p)
+		}
+	}
+}
+
+func TestApplyFIFOKeepsOrder(t *testing.T) {
+	in := AllVsAll(6)
+	out := Apply(in, FIFO, nil, 0)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("FIFO reordered jobs")
+		}
+	}
+	// Must be a copy, not an alias.
+	out[0] = Pair{9, 9}
+	if in[0] == out[0] {
+		t.Error("Apply returned an alias")
+	}
+}
+
+func TestApplyLPT(t *testing.T) {
+	lengths := []int{10, 100, 50, 20}
+	pairs := AllVsAll(4)
+	cost := LengthProductCost(lengths)
+	out := Apply(pairs, LPT, cost, 0)
+	for i := 1; i < len(out); i++ {
+		if cost(out[i-1]) < cost(out[i]) {
+			t.Fatalf("LPT not descending at %d: %v", i, out)
+		}
+	}
+	// Largest job first: pair {1,2} with cost 5000.
+	if out[0] != (Pair{1, 2}) {
+		t.Errorf("first LPT job = %v", out[0])
+	}
+}
+
+func TestApplySPT(t *testing.T) {
+	lengths := []int{10, 100, 50, 20}
+	cost := LengthProductCost(lengths)
+	out := Apply(AllVsAll(4), SPT, cost, 0)
+	for i := 1; i < len(out); i++ {
+		if cost(out[i-1]) > cost(out[i]) {
+			t.Fatalf("SPT not ascending: %v", out)
+		}
+	}
+}
+
+func TestApplyRandomDeterministicPermutation(t *testing.T) {
+	in := AllVsAll(8)
+	a := Apply(in, Random, nil, 42)
+	b := Apply(in, Random, nil, 42)
+	c := Apply(in, Random, nil, 43)
+	sameAsA := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random not deterministic for equal seeds")
+		}
+		if a[i] != c[i] {
+			sameAsA = false
+		}
+	}
+	if sameAsA {
+		t.Error("different seeds gave identical shuffles")
+	}
+	// Must be a permutation.
+	key := func(p Pair) int { return p.I*1000 + p.J }
+	ka := make([]int, len(a))
+	ki := make([]int, len(in))
+	for i := range a {
+		ka[i] = key(a[i])
+		ki[i] = key(in[i])
+	}
+	sort.Ints(ka)
+	sort.Ints(ki)
+	for i := range ka {
+		if ka[i] != ki[i] {
+			t.Fatal("Random lost or duplicated jobs")
+		}
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	for o, want := range map[Order]string{FIFO: "FIFO", LPT: "LPT", SPT: "SPT", Random: "Random", Order(99): "unknown"} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %s", o, o.String())
+		}
+	}
+}

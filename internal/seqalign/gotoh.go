@@ -1,0 +1,130 @@
+package seqalign
+
+import (
+	"rckalign/internal/costmodel"
+)
+
+// AlignAffine is an exact affine-gap global aligner (Gotoh 1982) with
+// separate gap-open and gap-extend penalties, provided alongside the
+// TM-align NWDP heuristic for callers that need true optimality (the
+// NWDP recurrence's single path flag is insufficient state and can
+// return sub-optimal alignments when gapOpen < 0; see the package
+// tests). Both penalties are <= 0; a gap of length k costs
+// gapOpen + k*gapExtend.
+//
+// The alignment is written into invmap (invmap[j] = i or -1) and the
+// optimal score is returned.
+func (a *Aligner) AlignAffine(len1, len2 int, score Scorer, gapOpen, gapExtend float64, invmap []int, ops *costmodel.Counter) float64 {
+	if len(invmap) != len2 {
+		panic("seqalign: invmap length must equal len2")
+	}
+	const negInf = -1e18
+	cols := len2 + 1
+	n := (len1 + 1) * cols
+
+	// M: best ending in a match; X: gap in chain 2 (consuming chain 1);
+	// Y: gap in chain 1 (consuming chain 2).
+	m := make([]float64, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	// Tracebacks: which matrix each cell's best predecessor lives in.
+	const (
+		fromM = 1
+		fromX = 2
+		fromY = 3
+	)
+	tm := make([]int8, n)
+	tx := make([]int8, n)
+	ty := make([]int8, n)
+
+	m[0] = 0
+	x[0], y[0] = negInf, negInf
+	for i := 1; i <= len1; i++ {
+		m[i*cols] = negInf
+		x[i*cols] = gapOpen + float64(i)*gapExtend
+		y[i*cols] = negInf
+		tx[i*cols] = fromX
+	}
+	for j := 1; j <= len2; j++ {
+		m[j] = negInf
+		x[j] = negInf
+		y[j] = gapOpen + float64(j)*gapExtend
+		ty[j] = fromY
+	}
+
+	max3 := func(a, b, c float64) (float64, int8) {
+		if a >= b && a >= c {
+			return a, fromM
+		}
+		if b >= c {
+			return b, fromX
+		}
+		return c, fromY
+	}
+
+	for i := 1; i <= len1; i++ {
+		row := i * cols
+		prev := row - cols
+		for j := 1; j <= len2; j++ {
+			sc := score(i-1, j-1)
+			bm, tmSrc := max3(m[prev+j-1], x[prev+j-1], y[prev+j-1])
+			m[row+j] = bm + sc
+			tm[row+j] = tmSrc
+
+			// X: consume chain-1 residue i (gap in chain 2).
+			openX := m[prev+j] + gapOpen + gapExtend
+			extX := x[prev+j] + gapExtend
+			if openX >= extX {
+				x[row+j] = openX
+				tx[row+j] = fromM
+			} else {
+				x[row+j] = extX
+				tx[row+j] = fromX
+			}
+
+			// Y: consume chain-2 residue j (gap in chain 1).
+			openY := m[row+j-1] + gapOpen + gapExtend
+			extY := y[row+j-1] + gapExtend
+			if openY >= extY {
+				y[row+j] = openY
+				ty[row+j] = fromM
+			} else {
+				y[row+j] = extY
+				ty[row+j] = fromY
+			}
+		}
+	}
+	ops.AddDP(3 * len1 * len2)
+
+	for j := range invmap {
+		invmap[j] = -1
+	}
+	// Traceback from the best terminal state.
+	best, state := max3(m[len1*cols+len2], x[len1*cols+len2], y[len1*cols+len2])
+	i, j := len1, len2
+	for i > 0 || j > 0 {
+		switch state {
+		case fromM:
+			if i == 0 || j == 0 {
+				// Should not happen with valid initialisation.
+				if i > 0 {
+					state = fromX
+				} else {
+					state = fromY
+				}
+				continue
+			}
+			invmap[j-1] = i - 1
+			state = int8(tm[i*cols+j])
+			i--
+			j--
+		case fromX:
+			state = int8(tx[i*cols+j])
+			i--
+		default: // fromY
+			state = int8(ty[i*cols+j])
+			j--
+		}
+	}
+	return best
+}

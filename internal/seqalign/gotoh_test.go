@@ -1,0 +1,151 @@
+package seqalign
+
+import (
+	"math/rand"
+	"testing"
+
+	"rckalign/internal/costmodel"
+)
+
+// bruteForceAffine enumerates all global alignments under the affine
+// objective: match scores plus gapOpen + k*gapExtend per maximal gap run
+// of length k.
+func bruteForceAffine(len1, len2 int, score Scorer, gapOpen, gapExtend float64) float64 {
+	best := -1e18
+	// state: 0 = none/match, 1 = in gap consuming chain1, 2 = chain2.
+	var rec func(i, j, state int, acc float64)
+	rec = func(i, j, state int, acc float64) {
+		if i == len1 && j == len2 {
+			if acc > best {
+				best = acc
+			}
+			return
+		}
+		if i < len1 && j < len2 {
+			rec(i+1, j+1, 0, acc+score(i, j))
+		}
+		if i < len1 {
+			pen := gapExtend
+			if state != 1 {
+				pen += gapOpen
+			}
+			rec(i+1, j, 1, acc+pen)
+		}
+		if j < len2 {
+			pen := gapExtend
+			if state != 2 {
+				pen += gapOpen
+			}
+			rec(i, j+1, 2, acc+pen)
+		}
+	}
+	rec(0, 0, 0, 0)
+	return best
+}
+
+func TestAffineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	a := NewAligner()
+	for trial := 0; trial < 50; trial++ {
+		len1 := 1 + rng.Intn(5)
+		len2 := 1 + rng.Intn(5)
+		mtx := make([]float64, len1*len2)
+		for i := range mtx {
+			mtx[i] = rng.Float64()*3 - 1
+		}
+		score := func(i, j int) float64 { return mtx[i*len2+j] }
+		gapOpen := -rng.Float64() * 2
+		gapExtend := -rng.Float64() * 0.5
+		want := bruteForceAffine(len1, len2, score, gapOpen, gapExtend)
+		invmap := make([]int, len2)
+		got := a.AlignAffine(len1, len2, score, gapOpen, gapExtend, invmap, nil)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: affine DP = %v, brute = %v (len %dx%d open %v ext %v)",
+				trial, got, want, len1, len2, gapOpen, gapExtend)
+		}
+		if !IsMonotonic(invmap, len1) {
+			t.Fatalf("trial %d: invalid alignment %v", trial, invmap)
+		}
+	}
+}
+
+// TestAffineAlignmentScoreConsistent replays the returned alignment
+// under the affine objective and checks it achieves the reported score.
+func TestAffineAlignmentScoreConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := NewAligner()
+	for trial := 0; trial < 20; trial++ {
+		len1 := 2 + rng.Intn(20)
+		len2 := 2 + rng.Intn(20)
+		mtx := make([]float64, len1*len2)
+		for i := range mtx {
+			mtx[i] = rng.Float64()*2 - 0.6
+		}
+		score := func(i, j int) float64 { return mtx[i*len2+j] }
+		gapOpen, gapExtend := -1.2, -0.2
+		invmap := make([]int, len2)
+		got := a.AlignAffine(len1, len2, score, gapOpen, gapExtend, invmap, nil)
+
+		// Recompute the alignment's affine cost from invmap.
+		acc := 0.0
+		prevI := -1
+		firstPair := true
+		lastJ := -1
+		for j, i := range invmap {
+			if i < 0 {
+				continue
+			}
+			acc += score(i, j)
+			// Gap in chain 2 (skipped chain-1 residues between pairs).
+			skip1 := i - prevI - 1
+			if firstPair {
+				skip1 = i // leading chain-1 residues
+			}
+			if skip1 > 0 {
+				acc += gapOpen + float64(skip1)*gapExtend
+			}
+			skip2 := j - lastJ - 1
+			if firstPair {
+				skip2 = j
+			}
+			if skip2 > 0 {
+				acc += gapOpen + float64(skip2)*gapExtend
+			}
+			prevI = i
+			lastJ = j
+			firstPair = false
+		}
+		if firstPair {
+			continue // no aligned pairs: scoring convention ambiguous
+		}
+		// Trailing gaps.
+		if tail1 := len1 - 1 - prevI; tail1 > 0 {
+			acc += gapOpen + float64(tail1)*gapExtend
+		}
+		if tail2 := len2 - 1 - lastJ; tail2 > 0 {
+			acc += gapOpen + float64(tail2)*gapExtend
+		}
+		if diff := got - acc; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: reported %v, alignment scores %v (invmap %v)", trial, got, acc, invmap)
+		}
+	}
+}
+
+func TestAffineChargesOps(t *testing.T) {
+	var ops costmodel.Counter
+	a := NewAligner()
+	inv := make([]int, 4)
+	a.AlignAffine(5, 4, func(i, j int) float64 { return 1 }, -1, -0.1, inv, &ops)
+	if ops.DPCells != 60 { // 3 matrices x 20 cells
+		t.Errorf("DPCells = %d, want 60", ops.DPCells)
+	}
+}
+
+func TestAffinePanicsOnBadInvmap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewAligner().AlignAffine(3, 4, func(i, j int) float64 { return 0 }, -1, -1, make([]int, 2), nil)
+}

@@ -1,0 +1,110 @@
+package seqalign
+
+import (
+	"math/rand"
+	"testing"
+
+	"rckalign/internal/costmodel"
+)
+
+// bruteForceLocal enumerates every pair of substrings and every
+// alignment between them under a linear gap model.
+func bruteForceLocal(len1, len2 int, score Scorer, gap float64) float64 {
+	best := 0.0
+	// rec finds the best alignment score starting exactly at (i, j) with
+	// a match and ending anywhere.
+	var rec func(i, j int, acc float64)
+	rec = func(i, j int, acc float64) {
+		if acc > best {
+			best = acc
+		}
+		if i < len1 && j < len2 {
+			rec(i+1, j+1, acc+score(i, j))
+		}
+		if i < len1 {
+			rec(i+1, j, acc+gap)
+		}
+		if j < len2 {
+			rec(i, j+1, acc+gap)
+		}
+	}
+	for i := 0; i < len1; i++ {
+		for j := 0; j < len2; j++ {
+			rec(i, j, 0)
+		}
+	}
+	return best
+}
+
+func TestLocalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	a := NewAligner()
+	for trial := 0; trial < 40; trial++ {
+		len1 := 1 + rng.Intn(5)
+		len2 := 1 + rng.Intn(5)
+		mtx := make([]float64, len1*len2)
+		for i := range mtx {
+			mtx[i] = rng.Float64()*3 - 1.5
+		}
+		score := func(i, j int) float64 { return mtx[i*len2+j] }
+		gap := -rng.Float64()
+		want := bruteForceLocal(len1, len2, score, gap)
+		got := a.AlignLocal(len1, len2, score, gap, nil)
+		if diff := got.Score - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: local DP = %v, brute = %v", trial, got.Score, want)
+		}
+	}
+}
+
+func TestLocalFindsEmbeddedMotif(t *testing.T) {
+	// Sequence 2 contains an exact copy of positions 10..20 of sequence
+	// 1 at offset 3; everything else mismatches.
+	s1 := make([]int, 40)
+	s2 := make([]int, 15)
+	for i := range s1 {
+		s1[i] = 100 + i
+	}
+	for j := range s2 {
+		s2[j] = -1
+	}
+	for j := 3; j < 13; j++ {
+		s2[j] = s1[10+j-3]
+	}
+	a := NewAligner()
+	res := a.AlignLocal(len(s1), len(s2), func(i, j int) float64 {
+		if s1[i] == s2[j] {
+			return 1
+		}
+		return -2
+	}, -2, nil)
+	if res.Score != 10 {
+		t.Errorf("motif score = %v, want 10", res.Score)
+	}
+	if res.Start1 != 10 || res.End1 != 20 || res.Start2 != 3 || res.End2 != 13 {
+		t.Errorf("motif bounds = [%d,%d) [%d,%d)", res.Start1, res.End1, res.Start2, res.End2)
+	}
+	if len(res.Pairs) != 10 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	for k, p := range res.Pairs {
+		if p[0] != 10+k || p[1] != 3+k {
+			t.Fatalf("pair %d = %v", k, p)
+		}
+	}
+}
+
+func TestLocalAllNegative(t *testing.T) {
+	a := NewAligner()
+	res := a.AlignLocal(5, 5, func(i, j int) float64 { return -1 }, -1, nil)
+	if res.Score != 0 || len(res.Pairs) != 0 {
+		t.Errorf("all-negative local alignment = %+v, want empty", res)
+	}
+}
+
+func TestLocalChargesOps(t *testing.T) {
+	var ops costmodel.Counter
+	NewAligner().AlignLocal(6, 7, func(i, j int) float64 { return 1 }, -1, &ops)
+	if ops.DPCells != 42 {
+		t.Errorf("DPCells = %d", ops.DPCells)
+	}
+}

@@ -1,0 +1,203 @@
+// Package sim is a deterministic discrete-event simulation engine with
+// SimPy-style coroutine processes. It provides the virtual clock under
+// the SCC chip model: simulated cores are processes that Wait() for the
+// durations charged by the cost model and exchange messages through
+// rendezvous channels whose transfer latencies model the on-chip mesh.
+//
+// Exactly one goroutine (the engine's or one process's) runs at any
+// moment, and events at equal times fire in schedule order, so runs are
+// fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// event is a scheduled wake-up of a process or a callback.
+type event struct {
+	t   float64
+	seq int64
+	p   *Process
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now    float64
+	events eventHeap
+	seq    int64
+	park   chan struct{}
+	live   map[*Process]bool
+	runner *Process // process currently executing (nil = engine)
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{park: make(chan struct{}), live: map[*Process]bool{}}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn at absolute time t (>= Now).
+func (e *Engine) Schedule(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After runs fn after delay d.
+func (e *Engine) After(d float64, fn func()) { e.Schedule(e.now+d, fn) }
+
+func (e *Engine) scheduleProc(t float64, p *Process) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// Process is a simulated thread of control. Its methods must only be
+// called from within its own body function.
+type Process struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	// blocked marks a process parked on a channel/resource (not in the
+	// event queue), for deadlock diagnostics.
+	blocked string
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Process) Engine() *Engine { return p.e }
+
+// Now returns the current simulated time.
+func (p *Process) Now() float64 { return p.e.now }
+
+// Spawn creates a process that starts executing body at the current
+// simulated time (once Run is in control).
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{e: e, name: name, resume: make(chan struct{})}
+	e.live[p] = true
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		delete(e.live, p)
+		e.runner = nil
+		e.park <- struct{}{}
+	}()
+	e.scheduleProc(e.now, p)
+	return p
+}
+
+// yield transfers control back to the engine and parks until resumed.
+func (p *Process) yield() {
+	p.e.runner = nil
+	p.e.park <- struct{}{}
+	<-p.resume
+	p.e.runner = p
+}
+
+// Wait advances the process's local time by d seconds of simulated time.
+// Negative d is treated as zero.
+func (p *Process) Wait(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		d = 0
+	}
+	p.e.scheduleProc(p.e.now+d, p)
+	p.yield()
+}
+
+// block parks the process with no scheduled wake-up; some other process
+// or event must call unblock. why is recorded for deadlock reports.
+func (p *Process) block(why string) {
+	p.blocked = why
+	p.yield()
+	p.blocked = ""
+}
+
+// unblock schedules p to resume at the current time.
+func (p *Process) unblock() {
+	p.e.scheduleProc(p.e.now, p)
+}
+
+// DeadlockError reports processes still blocked when the event queue
+// drained.
+type DeadlockError struct {
+	Time    float64
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.6f: %d process(es) blocked: %v", e.Time, len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until the queue drains. It returns a DeadlockError
+// if live processes remain blocked with no pending events, else nil.
+func (e *Engine) Run() error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		if ev.p != nil {
+			if ev.p.done {
+				continue
+			}
+			e.runner = ev.p
+			ev.p.resume <- struct{}{}
+			<-e.park
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if len(e.live) > 0 {
+		var names []string
+		for p := range e.live {
+			names = append(names, fmt.Sprintf("%s(%s)", p.name, p.blocked))
+		}
+		sort.Strings(names)
+		return &DeadlockError{Time: e.now, Blocked: names}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= t, then stops (remaining
+// events stay queued). It does not report deadlock.
+func (e *Engine) RunUntil(t float64) {
+	for e.events.Len() > 0 && e.events[0].t <= t {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		if ev.p != nil {
+			if ev.p.done {
+				continue
+			}
+			e.runner = ev.p
+			ev.p.resume <- struct{}{}
+			<-e.park
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

@@ -1,0 +1,205 @@
+package sim
+
+// Chan is a rendezvous (unbuffered) channel between simulated processes:
+// Send blocks until a matching Recv and vice versa, both resuming at the
+// rendezvous time. Waiters are served FIFO, so behaviour is deterministic.
+type Chan struct {
+	name      string
+	senders   []*sendReq
+	receivers []*recvReq
+}
+
+type sendReq struct {
+	p *Process
+	v any
+}
+
+type recvReq struct {
+	p    *Process
+	slot *any
+}
+
+// NewChan returns an empty rendezvous channel.
+func NewChan(name string) *Chan { return &Chan{name: name} }
+
+// Send delivers v to a receiver, blocking p until one arrives.
+func (c *Chan) Send(p *Process, v any) {
+	if len(c.receivers) > 0 {
+		r := c.receivers[0]
+		c.receivers = c.receivers[1:]
+		*r.slot = v
+		r.p.unblock()
+		return
+	}
+	c.senders = append(c.senders, &sendReq{p: p, v: v})
+	p.block("send:" + c.name)
+}
+
+// Recv returns the next value, blocking p until a sender arrives.
+func (c *Chan) Recv(p *Process) any {
+	if len(c.senders) > 0 {
+		s := c.senders[0]
+		c.senders = c.senders[1:]
+		s.p.unblock()
+		return s.v
+	}
+	var slot any
+	c.receivers = append(c.receivers, &recvReq{p: p, slot: &slot})
+	p.block("recv:" + c.name)
+	return slot
+}
+
+// TrySend delivers v if a receiver is already waiting and reports whether
+// it did; it never blocks.
+func (c *Chan) TrySend(p *Process, v any) bool {
+	if len(c.receivers) == 0 {
+		return false
+	}
+	c.Send(p, v)
+	return true
+}
+
+// Pending reports waiting senders (>0) or receivers (<0); 0 = idle.
+func (c *Chan) Pending() int {
+	if len(c.senders) > 0 {
+		return len(c.senders)
+	}
+	return -len(c.receivers)
+}
+
+// Latch is a one-shot completion flag: Wait blocks until Set has been
+// called (immediately returning if it already was). Multiple waiters
+// are all released at the Set time.
+type Latch struct {
+	name    string
+	set     bool
+	waiting []*Process
+}
+
+// NewLatch returns an unset latch.
+func NewLatch(name string) *Latch { return &Latch{name: name} }
+
+// Set releases the latch; all current and future waiters proceed.
+// Calling Set twice is a no-op.
+func (l *Latch) Set() {
+	if l.set {
+		return
+	}
+	l.set = true
+	for _, p := range l.waiting {
+		p.unblock()
+	}
+	l.waiting = nil
+}
+
+// IsSet reports whether the latch has fired.
+func (l *Latch) IsSet() bool { return l.set }
+
+// Wait blocks p until the latch is set.
+func (l *Latch) Wait(p *Process) {
+	if l.set {
+		return
+	}
+	l.waiting = append(l.waiting, p)
+	p.block("latch:" + l.name)
+}
+
+// Barrier blocks processes until n of them have arrived, then releases
+// all of them at the arrival time of the last.
+type Barrier struct {
+	name    string
+	n       int
+	waiting []*Process
+}
+
+// NewBarrier returns a barrier for n participants (n >= 1).
+func NewBarrier(name string, n int) *Barrier {
+	if n < 1 {
+		n = 1
+	}
+	return &Barrier{name: name, n: n}
+}
+
+// Wait blocks p until all n participants have called Wait.
+func (b *Barrier) Wait(p *Process) {
+	if len(b.waiting)+1 >= b.n {
+		for _, q := range b.waiting {
+			q.unblock()
+		}
+		b.waiting = nil
+		return
+	}
+	b.waiting = append(b.waiting, p)
+	p.block("barrier:" + b.name)
+}
+
+// Waiting returns the number of processes currently parked at the
+// barrier.
+func (b *Barrier) Waiting() int { return len(b.waiting) }
+
+// Resource is a counted FIFO resource (disk controller, mesh link, ...):
+// Acquire blocks while all slots are busy; Release hands a slot to the
+// longest waiter.
+type Resource struct {
+	name     string
+	capacity int
+	inUse    int
+	queue    []*Process
+	// Busy time accounting for utilisation reports.
+	busyStart map[*Process]float64
+	busyTotal float64
+}
+
+// NewResource returns a resource with the given slot count (>= 1).
+func NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{name: name, capacity: capacity, busyStart: map[*Process]float64{}}
+}
+
+// Acquire takes a slot, blocking until one frees up.
+func (r *Resource) Acquire(p *Process) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.busyStart[p] = p.Now()
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.block("acquire:" + r.name)
+	// Woken by Release, which already transferred the slot to us.
+	r.busyStart[p] = p.Now()
+}
+
+// Release frees p's slot; the longest waiter (if any) inherits it.
+func (r *Resource) Release(p *Process) {
+	if start, ok := r.busyStart[p]; ok {
+		r.busyTotal += p.Now() - start
+		delete(r.busyStart, p)
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		next.unblock()
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d simulated seconds, and
+// releases it.
+func (r *Resource) Use(p *Process, d float64) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release(p)
+}
+
+// InUse returns the number of occupied slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of blocked waiters.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// BusySeconds returns the total slot-seconds consumed so far (completed
+// holds only).
+func (r *Resource) BusySeconds() float64 { return r.busyTotal }

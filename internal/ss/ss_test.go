@@ -1,0 +1,130 @@
+package ss
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rckalign/internal/geom"
+)
+
+// idealHelix returns n CA positions of an ideal alpha helix
+// (radius 2.3 A, rise 1.5 A, 100 degrees per residue).
+func idealHelix(n int) []geom.Vec3 {
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		a := float64(i) * 100 * math.Pi / 180
+		pts[i] = geom.V(2.3*math.Cos(a), 2.3*math.Sin(a), 1.5*float64(i))
+	}
+	return pts
+}
+
+// idealStrand returns n CA positions of an extended beta strand
+// (rise ~3.3 A with a small zigzag).
+func idealStrand(n int) []geom.Vec3 {
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		zig := 0.5
+		if i%2 == 1 {
+			zig = -0.5
+		}
+		pts[i] = geom.V(3.3*float64(i), zig, 0)
+	}
+	return pts
+}
+
+func TestHelixAssignment(t *testing.T) {
+	sec := Assign(idealHelix(20))
+	for i := 2; i < 18; i++ {
+		if sec[i] != Helix {
+			t.Errorf("helix residue %d classified as %v", i, sec[i])
+		}
+	}
+	// Termini are coil by construction.
+	if sec[0] != Coil || sec[1] != Coil || sec[18] != Coil || sec[19] != Coil {
+		t.Error("terminal residues must be coil")
+	}
+}
+
+func TestStrandAssignment(t *testing.T) {
+	sec := Assign(idealStrand(12))
+	for i := 2; i < 10; i++ {
+		if sec[i] != Strand {
+			t.Errorf("strand residue %d classified as %v", i, sec[i])
+		}
+	}
+}
+
+func TestTurnAssignment(t *testing.T) {
+	// A tight turn: five residues within a small ball -> d15 < 8 but not
+	// matching helix pattern.
+	pts := []geom.Vec3{
+		{0, 0, 0}, {2.5, 2.0, 0}, {4.2, 0.1, 1.0}, {2.2, -2.0, 1.8}, {0.2, -0.5, 2.5},
+		{1.5, 1.8, 3.5}, {3.0, 0.2, 4.2},
+	}
+	sec := Assign(pts)
+	turns := 0
+	for i := 2; i < len(pts)-2; i++ {
+		if sec[i] == Turn || sec[i] == Helix {
+			turns++
+		}
+	}
+	if turns == 0 {
+		t.Errorf("compact conformation produced no turn/helix: %s", String(sec))
+	}
+}
+
+func TestCoilForLongRange(t *testing.T) {
+	// Widely spread points: d15 >> 8 and no pattern -> coil.
+	pts := make([]geom.Vec3, 8)
+	for i := range pts {
+		pts[i] = geom.V(float64(i)*7, float64(i*i), 0)
+	}
+	sec := Assign(pts)
+	for _, s := range sec {
+		if s != Coil {
+			t.Fatalf("expected all coil, got %s", String(sec))
+		}
+	}
+}
+
+func TestShortChains(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		sec := Assign(idealHelix(n))
+		if len(sec) != n {
+			t.Fatalf("length %d: got %d assignments", n, len(sec))
+		}
+		for _, s := range sec {
+			if s != Coil {
+				t.Fatalf("chains of length <= 4 must be all coil")
+			}
+		}
+	}
+}
+
+func TestTypeChars(t *testing.T) {
+	cases := map[Type]byte{Coil: 'C', Helix: 'H', Turn: 'T', Strand: 'E'}
+	for ty, want := range cases {
+		if ty.Char() != want {
+			t.Errorf("%d.Char() = %c, want %c", ty, ty.Char(), want)
+		}
+	}
+	if Helix.String() != "H" {
+		t.Error("String of Helix")
+	}
+}
+
+func TestStringAndFraction(t *testing.T) {
+	sec := Assign(idealHelix(30))
+	str := String(sec)
+	if !strings.Contains(str, "HHHHHHHH") {
+		t.Errorf("helix string missing run: %s", str)
+	}
+	fh := Fraction(sec, Helix)
+	if fh < 0.8 {
+		t.Errorf("helix fraction = %v, want > 0.8", fh)
+	}
+	if Fraction(nil, Helix) != 0 {
+		t.Error("Fraction of empty should be 0")
+	}
+}

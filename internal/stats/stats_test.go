@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max %v/%v", s.Min, s.Max)
+	}
+	// Sample std of this classic set is ~2.138.
+	if math.Abs(s.Std-2.1380899) > 1e-5 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary %+v", z)
+	}
+	one := Summarize([]float64{3})
+	if one.Std != 0 || one.Mean != 3 {
+		t.Errorf("single summary %+v", one)
+	}
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSpeedupSeries(t *testing.T) {
+	s := SpeedupSeries(100, []float64{100, 50, 25, 0})
+	want := []float64{1, 2, 4, 0}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("speedup[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	e := Efficiency([]float64{1, 1.8, 3.6}, []int{1, 2, 4})
+	if e[0] != 1 || e[1] != 0.9 || e[2] != 0.9 {
+		t.Errorf("efficiency = %v", e)
+	}
+	// Mismatched lengths and zero workers must not panic.
+	e2 := Efficiency([]float64{1, 2}, []int{0})
+	if e2[0] != 0 || e2[1] != 0 {
+		t.Errorf("edge efficiency = %v", e2)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Cores", "Time (s)", "Speedup")
+	tb.AddRowf(1, 2029.0, 1.0)
+	tb.AddRowf(47, 56.0, 36.17)
+	out := tb.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Cores") || !strings.Contains(out, "Speedup") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "36.17") || !strings.Contains(out, "2029.00") {
+		t.Errorf("missing data:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "A", "LongHeader")
+	tb.AddRow("xxxxxxxx", "1")
+	out := tb.String()
+	lines := strings.Split(out, "\n")
+	// Column A width must accommodate the 8-char cell: header line pads
+	// "A" to 8 chars before the gap.
+	if !strings.HasPrefix(lines[0], "A       ") {
+		t.Errorf("header not padded: %q", lines[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRowf(1, 2.5)
+	csv := tb.CSV()
+	if csv != "a,b\n1,2.50\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.AddRow("a", "extra")
+	if !strings.Contains(tb.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := NewPlot("title", "cores", "speedup")
+	p.Add(Series{Name: "a", Marker: '*', X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}})
+	p.Add(Series{Name: "b", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}})
+	out := p.Render(30, 10)
+	for _, want := range []string{"title", "*", "cores", "a", "b", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' marker must appear on the top row at the right.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Errorf("max of rising series not on top row:\n%s", out)
+	}
+}
+
+func TestPlotLogScale(t *testing.T) {
+	p := NewPlot("log", "x", "y")
+	p.LogY = true
+	p.Add(Series{Name: "s", Marker: '#', X: []float64{1, 2, 3}, Y: []float64{1, 100, 0}})
+	out := p.Render(20, 8)
+	if !strings.Contains(out, "log scale") {
+		t.Error("log scale not labelled")
+	}
+	// Zero values are skipped, not plotted at -inf.
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("bad values in plot:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("", "", "")
+	if got := p.Render(20, 8); got != "(empty plot)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+}
+
+func TestPlotMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPlot("", "", "").Add(Series{X: []float64{1}, Y: nil})
+}

@@ -1,0 +1,220 @@
+package synth
+
+import (
+	"testing"
+
+	"rckalign/internal/ss"
+)
+
+func TestBlueprintTotalLen(t *testing.T) {
+	bp := Blueprint{{ss.Helix, 10}, {ss.Coil, 5}, {ss.Strand, 7}}
+	if bp.TotalLen() != 22 {
+		t.Errorf("TotalLen = %d", bp.TotalLen())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	bp := helixBundle(4, 15, 5)
+	a := Generate("x", bp, 42)
+	b := Generate("x", bp, 42)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ between identical generations")
+	}
+	for i := range a.Residues {
+		if a.Residues[i].CA != b.Residues[i].CA || a.Residues[i].AA != b.Residues[i].AA {
+			t.Fatalf("residue %d differs between identical generations", i)
+		}
+	}
+	// Different id or seed must give different geometry.
+	c := Generate("y", bp, 42)
+	d := Generate("x", bp, 43)
+	if a.Residues[len(a.Residues)-1].CA == c.Residues[len(c.Residues)-1].CA {
+		t.Error("different id produced identical geometry")
+	}
+	if a.Residues[len(a.Residues)-1].CA == d.Residues[len(d.Residues)-1].CA {
+		t.Error("different seed produced identical geometry")
+	}
+}
+
+func TestGenerateLengthMatchesBlueprint(t *testing.T) {
+	bp := alphaBeta(4, 6, 12, 5)
+	s := Generate("len", bp, 7)
+	if s.Len() != bp.TotalLen() {
+		t.Errorf("generated %d residues, blueprint says %d", s.Len(), bp.TotalLen())
+	}
+}
+
+func TestGenerateChainConnectivity(t *testing.T) {
+	// Consecutive CA atoms must stay at plausible distances (no breaks,
+	// no overlaps): ideal CA-CA is ~3.8, helix rise is shorter locally.
+	s := Generate("conn", helixBundle(5, 16, 6), 11)
+	for i := 1; i < s.Len(); i++ {
+		d := s.Residues[i].CA.Dist(s.Residues[i-1].CA)
+		if d < 1.0 || d > 7.5 {
+			t.Fatalf("CA-CA distance %v at %d out of range", d, i)
+		}
+	}
+}
+
+func TestGenerateSecondaryStructureRealized(t *testing.T) {
+	s := Generate("ssr", helixBundle(4, 18, 6), 13)
+	sec := ss.Assign(s.CAs())
+	if f := ss.Fraction(sec, ss.Helix); f < 0.4 {
+		t.Errorf("helix bundle has helix fraction %v, want > 0.4", f)
+	}
+	b := Generate("ssr2", betaBarrel(8, 9, 5), 13)
+	secB := ss.Assign(b.CAs())
+	if f := ss.Fraction(secB, ss.Strand); f < 0.25 {
+		t.Errorf("beta barrel has strand fraction %v, want > 0.25", f)
+	}
+}
+
+func TestGenerateCompact(t *testing.T) {
+	// Radius of gyration should scale like a collapsed polymer, not an
+	// extended rod: Rg well below L*3.8/2.
+	s := Generate("cmp", helixBundle(6, 18, 6), 17)
+	pts := s.CAs()
+	var c = pts[0]
+	for _, p := range pts[1:] {
+		c = c.Add(p)
+	}
+	c = c.Scale(1 / float64(len(pts)))
+	var rg2 float64
+	for _, p := range pts {
+		rg2 += p.Dist2(c)
+	}
+	rg2 /= float64(len(pts))
+	extended := float64(len(pts)) * 3.8 / 2
+	if rg2 > extended*extended/4 {
+		t.Errorf("structure not compact: Rg^2 = %v vs extended^2 = %v", rg2, extended*extended)
+	}
+}
+
+func TestPerturbDeterministicAndDistinct(t *testing.T) {
+	base := Generate("base", helixBundle(4, 15, 5), 3)
+	a := Perturb(base, "m1", PerturbOptions{Noise: 1, Indels: 1, MutateFrac: 0.3}, 5)
+	b := Perturb(base, "m1", PerturbOptions{Noise: 1, Indels: 1, MutateFrac: 0.3}, 5)
+	if a.Len() != b.Len() {
+		t.Fatal("perturbation not deterministic in length")
+	}
+	for i := range a.Residues {
+		if a.Residues[i].CA != b.Residues[i].CA {
+			t.Fatal("perturbation not deterministic in coordinates")
+		}
+	}
+	c := Perturb(base, "m2", PerturbOptions{Noise: 1, Indels: 1, MutateFrac: 0.3}, 5)
+	if a.Len() == c.Len() {
+		same := true
+		for i := range a.Residues {
+			if a.Residues[i].CA != c.Residues[i].CA {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different member ids produced identical structures")
+		}
+	}
+}
+
+func TestPerturbIndelsShorten(t *testing.T) {
+	base := Generate("base", helixBundle(4, 15, 5), 3)
+	m := Perturb(base, "del", PerturbOptions{Indels: 3}, 9)
+	if m.Len() >= base.Len() {
+		t.Errorf("indels did not shorten: %d >= %d", m.Len(), base.Len())
+	}
+	if m.Len() < base.Len()-15 {
+		t.Errorf("indels removed too much: %d vs %d", m.Len(), base.Len())
+	}
+	// Residue numbering must stay 1..n.
+	for i, r := range m.Residues {
+		if r.Seq != i+1 {
+			t.Fatalf("residue %d has Seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestCK34Shape(t *testing.T) {
+	d := CK34()
+	if d.Len() != 34 {
+		t.Fatalf("CK34 has %d structures", d.Len())
+	}
+	if d.Pairs() != 561 {
+		t.Errorf("CK34 pairs = %d, want 561", d.Pairs())
+	}
+	seen := map[string]bool{}
+	for _, s := range d.Structures {
+		if s.Len() < 50 || s.Len() > 300 {
+			t.Errorf("%s length %d outside CK34 range", s.ID, s.Len())
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestRS119Shape(t *testing.T) {
+	d := RS119()
+	if d.Len() != 119 {
+		t.Fatalf("RS119 has %d structures", d.Len())
+	}
+	if d.Pairs() != 7021 {
+		t.Errorf("RS119 pairs = %d, want 7021", d.Pairs())
+	}
+	minL, maxL := 1<<30, 0
+	for _, s := range d.Structures {
+		if s.Len() < minL {
+			minL = s.Len()
+		}
+		if s.Len() > maxL {
+			maxL = s.Len()
+		}
+	}
+	if minL < 30 || maxL > 600 {
+		t.Errorf("RS119 lengths [%d, %d] outside plausible range", minL, maxL)
+	}
+	if maxL-minL < 100 {
+		t.Errorf("RS119 length spread too narrow: [%d, %d]", minL, maxL)
+	}
+	// RS119 must be "bigger" than CK34 both in count and total residues.
+	ck := CK34()
+	if d.TotalResidues() <= ck.TotalResidues() {
+		t.Error("RS119 should have more total residues than CK34")
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, b := CK34(), CK34()
+	for i := range a.Structures {
+		if a.Structures[i].Len() != b.Structures[i].Len() {
+			t.Fatal("CK34 not deterministic")
+		}
+		if a.Structures[i].Residues[0].CA != b.Structures[i].Residues[0].CA {
+			t.Fatal("CK34 coordinates not deterministic")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if d, err := ByName("ck34"); err != nil || d.Name != "CK34" {
+		t.Errorf("ByName(ck34) = %v, %v", d, err)
+	}
+	if d, err := ByName("RS119"); err != nil || d.Name != "RS119" {
+		t.Errorf("ByName(RS119) = %v, %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestSmall(t *testing.T) {
+	d := Small(6, 1)
+	if d.Len() != 6 {
+		t.Fatalf("Small(6) has %d structures", d.Len())
+	}
+	d2 := Small(6, 1)
+	if d.Structures[0].Residues[3].CA != d2.Structures[0].Residues[3].CA {
+		t.Error("Small not deterministic")
+	}
+}

@@ -1,0 +1,45 @@
+package tmalign
+
+import (
+	"math"
+	"testing"
+
+	"rckalign/internal/synth"
+)
+
+// TestGoldenCK34Pairs locks the exact comparison results for selected
+// CK34 pairs. Any change to the alignment pipeline, the scoring
+// parameters or the dataset generator shows up here — bump the values
+// deliberately (and regenerate the pair caches!) if the algorithm is
+// intentionally changed.
+func TestGoldenCK34Pairs(t *testing.T) {
+	golden := []struct {
+		i, j         int
+		name1, name2 string
+		tm1, tm2     float64
+		aligned      int
+		rmsd         float64
+	}{
+		{0, 1, "glb01", "glb02", 0.897216, 0.915445, 135, 1.345071},
+		{0, 16, "glb01", "pcy01", 0.185852, 0.227383, 45, 4.950992},
+		{10, 11, "tim01", "tim02", 0.921639, 0.933668, 216, 1.494903},
+		{24, 29, "prt01", "sab01", 0.137845, 0.273827, 31, 2.994084},
+	}
+	ck := synth.CK34()
+	for _, g := range golden {
+		r := Compare(ck.Structures[g.i], ck.Structures[g.j], DefaultOptions())
+		if r.Name1 != g.name1 || r.Name2 != g.name2 {
+			t.Fatalf("pair (%d,%d) names %s/%s, want %s/%s", g.i, g.j, r.Name1, r.Name2, g.name1, g.name2)
+		}
+		if math.Abs(r.TM1-g.tm1) > 1e-6 || math.Abs(r.TM2-g.tm2) > 1e-6 {
+			t.Errorf("%s vs %s: TM = %.6f/%.6f, golden %.6f/%.6f",
+				g.name1, g.name2, r.TM1, r.TM2, g.tm1, g.tm2)
+		}
+		if r.AlignedLen != g.aligned {
+			t.Errorf("%s vs %s: aligned %d, golden %d", g.name1, g.name2, r.AlignedLen, g.aligned)
+		}
+		if math.Abs(r.RMSD-g.rmsd) > 1e-6 {
+			t.Errorf("%s vs %s: RMSD %.6f, golden %.6f", g.name1, g.name2, r.RMSD, g.rmsd)
+		}
+	}
+}

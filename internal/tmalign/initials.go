@@ -1,0 +1,182 @@
+package tmalign
+
+import (
+	"rckalign/internal/geom"
+	"rckalign/internal/seqalign"
+	"rckalign/internal/ss"
+)
+
+// initialGapless is TM-align's get_initial: try every diagonal (ungapped)
+// offset of the two chains, rank with the fast score, and return the best
+// as a fresh invmap.
+func (c *ctx) initialGapless() []int {
+	minLen := c.xlen
+	if c.ylen < minLen {
+		minLen = c.ylen
+	}
+	minAli := minLen / 2
+	if minAli < 5 {
+		minAli = 5
+	}
+	best := emptyInvmap(c.ylen)
+	bestScore := -1.0
+	seqalign.GaplessThreading(c.xlen, c.ylen, minAli, func(k, lo, hi int) {
+		for j := range c.invTmp {
+			c.invTmp[j] = -1
+		}
+		for j := lo; j < hi; j++ {
+			c.invTmp[j] = j + k
+		}
+		if s := c.scoreFast(c.invTmp); s > bestScore {
+			bestScore = s
+			copy(best, c.invTmp)
+		}
+	})
+	return best
+}
+
+// initialSS is get_initial_ss: Needleman-Wunsch over the secondary
+// structure strings (match=1, mismatch=0, gap open -1). The result is
+// written into invmap.
+func (c *ctx) initialSS(invmap []int) {
+	c.nw.AlignSS(c.sec1, c.sec2, invmap, c.ops)
+}
+
+// initialLocal is get_initial5: superpose pairs of short fragments, score
+// the whole chains under each fragment rotation, run gap-free-opening
+// NWDP on that score matrix, and keep the alignment with the best fast
+// score. Returns false when the chains are too short.
+func (c *ctx) initialLocal(invmap []int) bool {
+	minLen := c.xlen
+	if c.ylen < minLen {
+		minLen = c.ylen
+	}
+	frag := 20
+	if minLen <= 2*frag {
+		frag = minLen / 2
+	}
+	if frag < 5 {
+		return false
+	}
+	jump := frag // non-overlapping fragment starts
+	d01 := c.sp.D0 + 1.5
+	d012 := d01 * d01
+
+	xt := c.xt[:c.xlen]
+	bestScore := -1.0
+	found := false
+
+	for i := 0; i+frag <= c.xlen; i += jump {
+		for j := 0; j+frag <= c.ylen; j += jump {
+			tr, _ := geom.Superpose(c.x[i:i+frag], c.y[j:j+frag])
+			c.ops.AddKabsch(frag)
+			tr.ApplyAll(xt, c.x)
+			c.ops.AddRotate(c.xlen)
+			for ii := 0; ii < c.xlen; ii++ {
+				row := ii * c.ylen
+				for jj := 0; jj < c.ylen; jj++ {
+					c.scoreMat[row+jj] = 1 / (1 + xt[ii].Dist2(c.y[jj])/d012)
+				}
+			}
+			c.ops.AddScore(c.xlen * c.ylen)
+			c.nw.Align(c.xlen, c.ylen, func(a, b int) float64 {
+				return c.scoreMat[a*c.ylen+b]
+			}, 0, c.invTmp, c.ops)
+			if s := c.scoreFast(c.invTmp); s > bestScore {
+				bestScore = s
+				copy(invmap, c.invTmp)
+				found = true
+			}
+		}
+	}
+	return found
+}
+
+// initialSSPlus is get_initial_ssplus: NWDP over a score matrix mixing
+// secondary structure identity (0.5 bonus) with the distance score under
+// the best rotation found so far.
+func (c *ctx) initialSSPlus(invmap []int, tr geom.Transform) {
+	d02 := c.sp.D0 * c.sp.D0
+	xt := c.xt[:c.xlen]
+	tr.ApplyAll(xt, c.x)
+	c.ops.AddRotate(c.xlen)
+	for i := 0; i < c.xlen; i++ {
+		row := i * c.ylen
+		for j := 0; j < c.ylen; j++ {
+			s := 1 / (1 + xt[i].Dist2(c.y[j])/d02)
+			if c.sec1[i] == c.sec2[j] {
+				s += 0.5
+			}
+			c.scoreMat[row+j] = s
+		}
+	}
+	c.ops.AddScore(c.xlen * c.ylen)
+	c.nw.Align(c.xlen, c.ylen, func(a, b int) float64 {
+		return c.scoreMat[a*c.ylen+b]
+	}, -1, invmap, c.ops)
+}
+
+// initialFragment is a compact form of get_initial_fgt (fragment gapless
+// threading): thread the longest secondary-structure element of chain 1
+// gaplessly across chain 2, extend each candidate offset to a full
+// diagonal alignment, and keep the offset with the best fast score.
+// Returns false if no usable fragment exists.
+func (c *ctx) initialFragment(invmap []int) bool {
+	fs, fe := longestSSElement(c.sec1)
+	flen := fe - fs
+	if flen < 4 {
+		// Fall back to the central third of the chain.
+		fs = c.xlen / 3
+		fe = fs + c.xlen/3
+		flen = fe - fs
+		if flen < 4 {
+			return false
+		}
+	}
+	bestScore := -1.0
+	found := false
+	// Slide the fragment over chain 2; offset k aligns x[fs+t] to
+	// y[k+t]. Extend the diagonal to the full overlap.
+	for k := 0; k+flen <= c.ylen; k++ {
+		shift := fs - k // i = j + shift on this diagonal
+		for j := range c.invTmp {
+			c.invTmp[j] = -1
+		}
+		n := 0
+		for j := 0; j < c.ylen; j++ {
+			i := j + shift
+			if i >= 0 && i < c.xlen {
+				c.invTmp[j] = i
+				n++
+			}
+		}
+		if n < 5 {
+			continue
+		}
+		if s := c.scoreFast(c.invTmp); s > bestScore {
+			bestScore = s
+			copy(invmap, c.invTmp)
+			found = true
+		}
+	}
+	return found
+}
+
+// longestSSElement returns the [start, end) span of the longest run of
+// identical non-coil secondary structure in sec.
+func longestSSElement(sec []ss.Type) (start, end int) {
+	bestLen := 0
+	i := 0
+	for i < len(sec) {
+		j := i
+		for j < len(sec) && sec[j] == sec[i] {
+			j++
+		}
+		if sec[i] != ss.Coil && j-i > bestLen {
+			bestLen = j - i
+			start, end = i, j
+		}
+		i = j
+	}
+	return start, end
+}

@@ -1,0 +1,168 @@
+package tmalign
+
+import (
+	"rckalign/internal/geom"
+)
+
+// detailedSearch gathers the aligned pairs of invmap and runs the
+// TM-score rotation search over them (TM-align's detailed_search with the
+// configured simplify step). Returns the TM-score (search normalization)
+// and the rotation achieving it.
+func (c *ctx) detailedSearch(invmap []int) (float64, geom.Transform) {
+	n := alignedPairs(c.x, c.y, invmap, c.xtm, c.ytm)
+	if n == 0 {
+		return 0, geom.IdentityTransform()
+	}
+	return c.sp.Search(c.xtm[:n], c.ytm[:n], c.opt.SimplifyStep, c.ops)
+}
+
+// scoreFast is TM-align's get_score_fast: a cheap three-round estimate of
+// an alignment's TM-score used to rank candidate alignments (the returned
+// value is un-normalised; only comparisons against other scoreFast values
+// are meaningful).
+func (c *ctx) scoreFast(invmap []int) float64 {
+	n := 0
+	for j, i := range invmap {
+		if i >= 0 {
+			c.r1[n] = c.x[i]
+			c.r2[n] = c.y[j]
+			n++
+		}
+	}
+	if n < 3 {
+		return 0
+	}
+	xtm := c.xtm[:n]
+	ytm := c.ytm[:n]
+	copy(xtm, c.r1[:n])
+	copy(ytm, c.r2[:n])
+
+	tr, _ := geom.Superpose(c.r1[:n], c.r2[:n])
+	c.ops.AddKabsch(n)
+
+	d02 := c.sp.D0 * c.sp.D0
+	d002 := c.sp.D0Search * c.sp.D0Search
+
+	score := 0.0
+	for k := 0; k < n; k++ {
+		di := tr.Apply(xtm[k]).Dist2(ytm[k])
+		c.dis2[k] = di
+		score += 1 / (1 + di/d02)
+	}
+	c.ops.AddScore(n)
+	c.ops.AddRotate(n)
+
+	// Round 2: re-fit on pairs within d0Search.
+	refit := func(cut2 float64) (float64, bool) {
+		j := 0
+		for cutoff := cut2; ; cutoff += 0.5 {
+			j = 0
+			for k := 0; k < n; k++ {
+				if c.dis2[k] <= cutoff {
+					c.r1[j] = xtm[k]
+					c.r2[j] = ytm[k]
+					j++
+				}
+			}
+			if j >= 3 || n <= 3 {
+				break
+			}
+		}
+		if j == n {
+			return score, false // nothing filtered; no improvement possible
+		}
+		if j < 3 {
+			return score, false
+		}
+		tr, _ := geom.Superpose(c.r1[:j], c.r2[:j])
+		c.ops.AddKabsch(j)
+		s := 0.0
+		for k := 0; k < n; k++ {
+			di := tr.Apply(xtm[k]).Dist2(ytm[k])
+			c.dis2[k] = di
+			s += 1 / (1 + di/d02)
+		}
+		c.ops.AddScore(n)
+		c.ops.AddRotate(n)
+		return s, true
+	}
+
+	if s2, improvedPossible := refit(d002); improvedPossible {
+		if s2 > score {
+			score = s2
+		}
+		if s3, _ := refit(d002 + 1); s3 > score {
+			score = s3
+		}
+	}
+	return score
+}
+
+// dpIter is TM-align's DP_iter: starting from an alignment and its
+// rotation, alternately (a) build a score matrix from the rotated
+// inter-chain distances and run NWDP, and (b) re-search the rotation for
+// the new alignment, keeping the best TM-score seen. Both gap-opening
+// settings (-0.6 and 0) are explored.
+func (c *ctx) dpIter(invmap0 []int, tr geom.Transform, maxIter int) (float64, geom.Transform, []int) {
+	bestTM := -1.0
+	bestTr := tr
+	best := append([]int(nil), invmap0...)
+
+	d02 := c.sp.D0 * c.sp.D0
+	xt := c.xt[:c.xlen]
+
+	for _, gapOpen := range [2]float64{-0.6, 0} {
+		cur := tr
+		tmOld := 0.0
+		for iter := 0; iter < maxIter; iter++ {
+			// Score matrix from current rotation.
+			cur.ApplyAll(xt, c.x)
+			c.ops.AddRotate(c.xlen)
+			for i := 0; i < c.xlen; i++ {
+				row := i * c.ylen
+				for j := 0; j < c.ylen; j++ {
+					c.scoreMat[row+j] = 1 / (1 + xt[i].Dist2(c.y[j])/d02)
+				}
+			}
+			c.ops.AddScore(c.xlen * c.ylen)
+
+			c.nw.Align(c.xlen, c.ylen, func(i, j int) float64 {
+				return c.scoreMat[i*c.ylen+j]
+			}, gapOpen, c.invTmp, c.ops)
+
+			tm, trNew := c.detailedSearch(c.invTmp)
+			if tm > bestTM {
+				bestTM = tm
+				bestTr = trNew
+				copy(best, c.invTmp)
+			}
+			cur = trNew
+			if iter > 0 && abs(tm-tmOld) < 1e-6 {
+				break
+			}
+			tmOld = tm
+		}
+	}
+	return bestTM, bestTr, best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// alignedPairs copies the aligned coordinate pairs of invmap into dstX,
+// dstY and returns the pair count.
+func alignedPairs(x, y []geom.Vec3, invmap []int, dstX, dstY []geom.Vec3) int {
+	n := 0
+	for j, i := range invmap {
+		if i >= 0 {
+			dstX[n] = x[i]
+			dstY[n] = y[j]
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+// Package tmscore implements the TM-score machinery of TM-align (Zhang &
+// Skolnick 2005): the length-dependent d0 normalization, the score_fun8
+// scoring kernel and the TMscore8_search iterative fragment-superposition
+// search that finds the rotation maximising the TM-score of a fixed
+// alignment.
+package tmscore
+
+import (
+	"math"
+
+	"rckalign/internal/costmodel"
+	"rckalign/internal/geom"
+)
+
+// Params bundles the scoring parameters for one comparison, mirroring
+// TM-align's parameter_set4search / parameter_set4final.
+type Params struct {
+	// LNorm is the normalization length (float: the "average length"
+	// option normalises by a non-integer).
+	LNorm float64
+	// D0 is the TM-score distance scale.
+	D0 float64
+	// D0Search is D0 clamped to [4.5, 8], used as the pair-inclusion
+	// cutoff seed during iterative extension.
+	D0Search float64
+	// ScoreD8 is the long-distance cutoff: in search mode, pairs beyond
+	// it contribute nothing to the score.
+	ScoreD8 float64
+}
+
+// d0OfLength is the canonical TM-score d0 formula.
+func d0OfLength(l float64) float64 {
+	return 1.24*math.Cbrt(l-15) - 1.8
+}
+
+func clampSearch(d0 float64) float64 {
+	if d0 > 8 {
+		return 8
+	}
+	if d0 < 4.5 {
+		return 4.5
+	}
+	return d0
+}
+
+// SearchParams returns the parameter set TM-align uses while searching
+// for the optimal alignment of chains with lengths xlen and ylen
+// (normalization by the shorter chain, inflated d0 for robustness,
+// score_d8 long-distance cutoff).
+func SearchParams(xlen, ylen int) Params {
+	lnorm := float64(min(xlen, ylen))
+	var d0 float64
+	if lnorm <= 19 {
+		d0 = 0.168
+	} else {
+		d0 = d0OfLength(lnorm)
+	}
+	d0 += 0.8 // D0_MIN = d0+0.8; d0 = D0_MIN ("best for search")
+	return Params{
+		LNorm:    lnorm,
+		D0:       d0,
+		D0Search: clampSearch(d0),
+		ScoreD8:  1.5*math.Pow(lnorm, 0.3) + 3.5,
+	}
+}
+
+// FinalParams returns the parameter set used to report the final TM-score
+// normalised by length l (parameter_set4final). The d8 cutoff is disabled
+// in final scoring.
+func FinalParams(l float64) Params {
+	var d0 float64
+	if l <= 21 {
+		d0 = 0.5
+	} else {
+		d0 = d0OfLength(l)
+	}
+	if d0 < 0.5 {
+		d0 = 0.5
+	}
+	return Params{
+		LNorm:    l,
+		D0:       d0,
+		D0Search: clampSearch(d0),
+	}
+}
+
+// scoreFun8 is TM-align's score_fun8: given already-transformed aligned
+// coordinates, it sums 1/(1+(d/d0)^2) (optionally only over pairs with
+// d <= score_d8) and collects into iAli the indices with d < d; if fewer
+// than 3 pairs qualify the cutoff is relaxed by 0.5 A steps. It returns
+// the TM-score (sum/LNorm) and the number of collected pairs.
+func (p Params) scoreFun8(xt, y []geom.Vec3, d float64, iAli []int, ops *costmodel.Counter) (float64, int) {
+	n := len(xt)
+	d02 := p.D0 * p.D0
+	d8cut2 := p.ScoreD8 * p.ScoreD8
+	dTmp := d * d
+	var scoreSum float64
+	nCut := 0
+	for inc := 0; ; inc++ {
+		nCut = 0
+		scoreSum = 0
+		for i := 0; i < n; i++ {
+			di := xt[i].Dist2(y[i])
+			if di < dTmp {
+				iAli[nCut] = i
+				nCut++
+			}
+			if p.ScoreD8 > 0 {
+				if di <= d8cut2 {
+					scoreSum += 1 / (1 + di/d02)
+				}
+			} else {
+				scoreSum += 1 / (1 + di/d02)
+			}
+		}
+		ops.AddScore(n)
+		if nCut < 3 && n > 3 {
+			dinc := d + float64(inc+1)*0.5
+			dTmp = dinc * dinc
+			continue
+		}
+		break
+	}
+	return scoreSum / p.LNorm, nCut
+}
+
+// searchIterations is TM-align's n_it: refinement steps per seed fragment.
+const searchIterations = 20
+
+// Search finds the rigid transform of x that maximises the TM-score of
+// the fixed alignment (x[i] <-> y[i]): TM-align's TMscore8_search. Seed
+// fragments of halving lengths slide along the alignment with stride
+// simplifyStep (40 during alignment search, 1 for final scoring); each
+// seed is superposed, scored, and iteratively extended over the pairs
+// within distance cutoffs until convergence. It returns the best score
+// and the transform achieving it.
+func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counter) (float64, geom.Transform) {
+	n := len(x)
+	if n != len(y) {
+		panic("tmscore: aligned coordinate sets differ in length")
+	}
+	if n == 0 {
+		return 0, geom.IdentityTransform()
+	}
+	if simplifyStep < 1 {
+		simplifyStep = 1
+	}
+
+	// Fragment-length ladder: n, n/2, n/4, ... down to min(n, 4).
+	const nInitMax = 6
+	liniMin := 4
+	if n < liniMin {
+		liniMin = n
+	}
+	var ladder []int
+	for i := 0; i < nInitMax-1; i++ {
+		l := n >> uint(i)
+		if l > liniMin {
+			ladder = append(ladder, l)
+		} else {
+			break
+		}
+	}
+	ladder = append(ladder, liniMin)
+
+	scoreMax := -1.0
+	bestT := geom.IdentityTransform()
+	xt := make([]geom.Vec3, n)
+	iAli := make([]int, n)
+	kAli := make([]int, n)
+	r1 := make([]geom.Vec3, n)
+	r2 := make([]geom.Vec3, n)
+
+	for _, lInit := range ladder {
+		iLMax := n - lInit + 1
+		for iL := 0; iL < iLMax; iL += simplifyStep {
+			tr, _ := geom.Superpose(x[iL:iL+lInit], y[iL:iL+lInit])
+			ops.AddKabsch(lInit)
+			tr.ApplyAll(xt, x)
+			ops.AddRotate(n)
+
+			score, nCut := p.scoreFun8(xt, y, p.D0Search-1, iAli, ops)
+			if score > scoreMax {
+				scoreMax = score
+				bestT = tr
+			}
+
+			// Iterative extension with a looser cutoff.
+			d := p.D0Search + 1
+			for it := 0; it < searchIterations; it++ {
+				ka := 0
+				for k := 0; k < nCut; k++ {
+					m := iAli[k]
+					r1[ka] = x[m]
+					r2[ka] = y[m]
+					kAli[ka] = m
+					ka++
+				}
+				if ka < 1 {
+					break
+				}
+				tr, _ = geom.Superpose(r1[:ka], r2[:ka])
+				ops.AddKabsch(ka)
+				tr.ApplyAll(xt, x)
+				ops.AddRotate(n)
+				score, nCut = p.scoreFun8(xt, y, d, iAli, ops)
+				if score > scoreMax {
+					scoreMax = score
+					bestT = tr
+				}
+				if nCut == ka {
+					same := true
+					for k := 0; k < nCut; k++ {
+						if iAli[k] != kAli[k] {
+							same = false
+							break
+						}
+					}
+					if same {
+						break // converged
+					}
+				}
+			}
+		}
+	}
+	return scoreMax, bestT
+}
+
+// ScoreWithTransform returns the TM-score of the fixed alignment under a
+// given transform of x, without searching (pairs beyond ScoreD8 excluded
+// when it is set).
+func (p Params) ScoreWithTransform(x, y []geom.Vec3, tr geom.Transform, ops *costmodel.Counter) float64 {
+	if len(x) != len(y) {
+		panic("tmscore: aligned coordinate sets differ in length")
+	}
+	d02 := p.D0 * p.D0
+	d8cut2 := p.ScoreD8 * p.ScoreD8
+	var sum float64
+	for i := range x {
+		di := tr.Apply(x[i]).Dist2(y[i])
+		if p.ScoreD8 > 0 && di > d8cut2 {
+			continue
+		}
+		sum += 1 / (1 + di/d02)
+	}
+	ops.AddScore(len(x))
+	ops.AddRotate(len(x))
+	return sum / p.LNorm
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

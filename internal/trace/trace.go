@@ -1,0 +1,172 @@
+// Package trace records per-core activity intervals from a simulated
+// execution and renders them as utilization summaries or an ASCII Gantt
+// chart — the instrumentation behind the "almost linear speedup"
+// analysis: it shows directly whether slave cores sit idle waiting for
+// the master.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is one span of activity on a track.
+type Interval struct {
+	Start, End float64
+	Label      string
+}
+
+// Recorder accumulates intervals by track (typically one track per
+// core). The zero value is not ready; use New.
+type Recorder struct {
+	tracks map[string][]Interval
+	order  []string
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{tracks: map[string][]Interval{}}
+}
+
+// Add appends an interval to a track. Intervals with End <= Start are
+// ignored.
+func (r *Recorder) Add(track string, start, end float64, label string) {
+	if end <= start {
+		return
+	}
+	if _, ok := r.tracks[track]; !ok {
+		r.order = append(r.order, track)
+	}
+	r.tracks[track] = append(r.tracks[track], Interval{Start: start, End: end, Label: label})
+}
+
+// Tracks returns the track names in first-seen order.
+func (r *Recorder) Tracks() []string { return append([]string(nil), r.order...) }
+
+// Intervals returns a track's recorded intervals.
+func (r *Recorder) Intervals(track string) []Interval {
+	return append([]Interval(nil), r.tracks[track]...)
+}
+
+// Span returns the [min start, max end] across all tracks (0,0 when
+// empty).
+func (r *Recorder) Span() (float64, float64) {
+	first := true
+	var lo, hi float64
+	for _, ivs := range r.tracks {
+		for _, iv := range ivs {
+			if first || iv.Start < lo {
+				lo = iv.Start
+			}
+			if first || iv.End > hi {
+				hi = iv.End
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// BusySeconds returns a track's total busy time (overlaps merged).
+func (r *Recorder) BusySeconds(track string) float64 {
+	ivs := append([]Interval(nil), r.tracks[track]...)
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+	var busy, curEnd float64
+	started := false
+	var curStart float64
+	for _, iv := range ivs {
+		if !started || iv.Start > curEnd {
+			if started {
+				busy += curEnd - curStart
+			}
+			curStart, curEnd = iv.Start, iv.End
+			started = true
+		} else if iv.End > curEnd {
+			curEnd = iv.End
+		}
+	}
+	if started {
+		busy += curEnd - curStart
+	}
+	return busy
+}
+
+// Utilization returns a track's busy fraction of the window [t0, t1].
+func (r *Recorder) Utilization(track string, t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	busy := 0.0
+	for _, iv := range r.tracks[track] {
+		s, e := iv.Start, iv.End
+		if s < t0 {
+			s = t0
+		}
+		if e > t1 {
+			e = t1
+		}
+		if e > s {
+			busy += e - s
+		}
+	}
+	u := busy / (t1 - t0)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// UtilizationTable renders per-track utilization over the full span as
+// aligned text with a bar.
+func (r *Recorder) UtilizationTable(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	t0, t1 := r.Span()
+	var b strings.Builder
+	fmt.Fprintf(&b, "window: %.3f .. %.3f s\n", t0, t1)
+	for _, track := range r.order {
+		u := r.Utilization(track, t0, t1)
+		n := int(u*float64(width) + 0.5)
+		fmt.Fprintf(&b, "%-10s %5.1f%% |%s%s|\n", track, 100*u,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n))
+	}
+	return b.String()
+}
+
+// Gantt renders an ASCII chart: one row per track, '#' where the track
+// is busy, '.' where idle, over the recorder's span quantised to the
+// given width.
+func (r *Recorder) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	t0, t1 := r.Span()
+	if t1 <= t0 {
+		return "(empty trace)\n"
+	}
+	dt := (t1 - t0) / float64(width)
+	var b strings.Builder
+	for _, track := range r.order {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range r.tracks[track] {
+			lo := int((iv.Start - t0) / dt)
+			hi := int((iv.End-t0)/dt + 0.999999)
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-10s %s\n", track, row)
+	}
+	return b.String()
+}

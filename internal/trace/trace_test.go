@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndSpan(t *testing.T) {
+	r := New()
+	r.Add("c1", 1, 3, "a")
+	r.Add("c2", 2, 5, "b")
+	r.Add("c1", 4, 4, "ignored") // zero length
+	lo, hi := r.Span()
+	if lo != 1 || hi != 5 {
+		t.Errorf("span = [%v, %v]", lo, hi)
+	}
+	if len(r.Intervals("c1")) != 1 {
+		t.Errorf("c1 intervals = %v", r.Intervals("c1"))
+	}
+	if got := r.Tracks(); len(got) != 2 || got[0] != "c1" {
+		t.Errorf("tracks = %v", got)
+	}
+}
+
+func TestBusySecondsMergesOverlaps(t *testing.T) {
+	r := New()
+	r.Add("c", 0, 2, "")
+	r.Add("c", 1, 3, "") // overlaps
+	r.Add("c", 5, 6, "")
+	if got := r.BusySeconds("c"); got != 4 {
+		t.Errorf("busy = %v, want 4", got)
+	}
+	if r.BusySeconds("missing") != 0 {
+		t.Error("missing track busy != 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := New()
+	r.Add("c", 0, 5, "")
+	if u := r.Utilization("c", 0, 10); u != 0.5 {
+		t.Errorf("utilization = %v", u)
+	}
+	// Clipping to the window.
+	if u := r.Utilization("c", 4, 6); u != 0.5 {
+		t.Errorf("clipped utilization = %v", u)
+	}
+	if u := r.Utilization("c", 10, 5); u != 0 {
+		t.Errorf("inverted window utilization = %v", u)
+	}
+}
+
+func TestUtilizationTable(t *testing.T) {
+	r := New()
+	r.Add("rck01", 0, 10, "compute")
+	r.Add("rck02", 0, 5, "compute")
+	out := r.UtilizationTable(20)
+	if !strings.Contains(out, "rck01") || !strings.Contains(out, "100.0%") {
+		t.Errorf("table:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") {
+		t.Errorf("table missing 50%%:\n%s", out)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := New()
+	r.Add("a", 0, 5, "")
+	r.Add("b", 5, 10, "")
+	out := r.Gantt(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt:\n%s", out)
+	}
+	// Track a busy in the first half, b in the second.
+	if !strings.Contains(lines[0], "#####.....") {
+		t.Errorf("row a: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ".....#####") {
+		t.Errorf("row b: %q", lines[1])
+	}
+	if New().Gantt(10) != "(empty trace)\n" {
+		t.Error("empty gantt")
+	}
+}
