@@ -19,6 +19,7 @@ import (
 
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
+	"rckalign/internal/farm"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
 	"rckalign/internal/synth"
@@ -89,7 +90,7 @@ func main() {
 			rec = trace.New()
 		}
 		cfg.Trace = rec
-		var total float64
+		var rep farm.Report
 		if *memBudget > 0 {
 			tcfg := core.DefaultTiledConfig(*memBudget)
 			tcfg.Config = cfg
@@ -98,16 +99,21 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			total = r.TotalSeconds
+			rep = r.Report
 		} else {
 			r, err := core.Run(pr, n, cfg)
 			if err != nil {
 				fatal(err)
 			}
-			total = r.TotalSeconds
+			rep = r.Report
 		}
-		sp := baseline / total
-		tb.AddRowf(n, total, sp, sp/float64(n))
+		if rep.DroppedCores > 0 {
+			fmt.Fprintf(os.Stderr, "note: %d of %d slave cores idle (%d is not a multiple of %d threads/worker)\n",
+				rep.DroppedCores, n, n, *threads)
+		}
+		sp := baseline / rep.TotalSeconds
+		// Efficiency counts only the cores that actually form workers.
+		tb.AddRowf(n, rep.TotalSeconds, sp, sp/float64(rep.EffectiveCores))
 	}
 	if *csv {
 		fmt.Print(tb.CSV())

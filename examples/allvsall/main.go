@@ -41,14 +41,28 @@ func main() {
 	serial := pr.SerialSeconds(costmodel.P54C())
 	fmt.Printf("serial time on one SCC core: %.1f simulated seconds\n\n", serial)
 
-	fmt.Println("slaves  time(s)  speedup  efficiency")
+	fmt.Println("slaves  time(s)  speedup  efficiency  slave-busy")
+	cfg := core.DefaultConfig()
+	masterTrack := cfg.Chip.CoreName(cfg.MasterCore)
 	for _, n := range []int{1, 2, 4, 8, 16, 32, 47} {
-		r, err := core.Run(pr, n, core.DefaultConfig())
+		r, err := core.Run(pr, n, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		sp := serial / r.TotalSeconds
-		fmt.Printf("%6d  %7.1f  %7.2f  %9.2f\n", n, r.TotalSeconds, sp, sp/float64(n))
+		// Every run carries a farm.Report with per-core utilization; the
+		// mean slave busy fraction shows where the farm stops scaling.
+		busy, cores := 0.0, 0
+		for track, u := range r.CoreUtilization {
+			if track != masterTrack {
+				busy += u
+				cores++
+			}
+		}
+		if cores > 0 {
+			busy /= float64(cores)
+		}
+		fmt.Printf("%6d  %7.1f  %7.2f  %9.2f  %9.0f%%\n", n, r.TotalSeconds, sp, sp/float64(n), 100*busy)
 	}
 
 	fmt.Println("\nThe almost-linear speedup is the paper's core claim: on a")

@@ -9,6 +9,10 @@
 // pair, in parallel on the host) and the simulation replays their
 // measured operation counts as simulated compute time on the modelled
 // P54C cores — see DESIGN.md.
+//
+// All run variants (flat, hierarchical, tiled) are thin compositions of
+// the internal/farm run harness, which owns runtime construction, slave
+// placement, result collection and reporting.
 package core
 
 import (
@@ -17,12 +21,11 @@ import (
 	"sync"
 
 	"rckalign/internal/costmodel"
+	"rckalign/internal/farm"
 	"rckalign/internal/pdb"
-	"rckalign/internal/rcce"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
-	"rckalign/internal/sim"
 	"rckalign/internal/synth"
 	"rckalign/internal/tmalign"
 	"rckalign/internal/trace"
@@ -69,13 +72,17 @@ func (pr *PairResults) TotalOps() costmodel.Counter {
 // including loading every structure once.
 func (pr *PairResults) SerialSeconds(cpu costmodel.CPU) float64 {
 	ops := pr.TotalOps()
-	ops.Add(loadOps(pr.Dataset))
+	ops.Add(costmodel.Counter{ResiduesLoaded: uint64(pr.Dataset.TotalResidues())})
 	return cpu.Seconds(ops)
 }
 
-// loadOps is the one-time cost of parsing all structures into memory.
-func loadOps(ds *synth.Dataset) costmodel.Counter {
-	return costmodel.Counter{ResiduesLoaded: uint64(ds.TotalResidues())}
+// lengths returns the per-structure chain lengths of the dataset.
+func (pr *PairResults) lengths() []int {
+	out := make([]int, pr.Dataset.Len())
+	for i, s := range pr.Dataset.Structures {
+		out[i] = s.Len()
+	}
+	return out
 }
 
 // ComputeAllPairs runs TM-align natively for every all-vs-all pair of
@@ -137,13 +144,20 @@ type Config struct {
 	// treated as 1.
 	PollingScale float64
 	// Trace, when non-nil, receives per-core activity intervals for
-	// utilization/Gantt reports.
+	// utilization/Gantt reports. The farm layer records internally even
+	// when nil, so RunResult always carries per-core utilization.
 	Trace *trace.Recorder
+	// Collector, when non-nil, observes every collected result (the
+	// farm layer's pluggable sink).
+	Collector farm.Collector
 	// ThreadsPerWorker is the paper's closing future-work item
 	// ("building support for threading into the base library"): when 2,
 	// each worker process uses both cores of its tile, finishing each
 	// job in 1/(2*ThreadEfficiency) of the serial time while occupying
-	// two cores. 0 or 1 = the paper's single-threaded slaves.
+	// two cores. 0 or 1 = the paper's single-threaded slaves. When the
+	// slave count is not a multiple, the leftover cores are not used;
+	// the rounding is reported in RunResult.EffectiveCores and
+	// RunResult.DroppedCores.
 	ThreadsPerWorker int
 	// ThreadEfficiency is the per-thread scaling efficiency (default
 	// 0.9; DP and scoring parallelise well, the Kabsch solves less so).
@@ -155,28 +169,45 @@ func DefaultConfig() Config {
 	return Config{Chip: scc.DefaultConfig(), MasterCore: 0, Order: sched.FIFO, PollingScale: 1}
 }
 
-// RunResult reports one simulated rckAlign execution.
+// session maps an rckAlign config onto the farm harness.
+func (cfg Config) session(slaves int) farm.Config {
+	return farm.Config{
+		Backend:          farm.SCCSim{Chip: cfg.Chip},
+		MasterCore:       cfg.MasterCore,
+		Slaves:           slaves,
+		ThreadsPerWorker: cfg.ThreadsPerWorker,
+		ThreadEfficiency: cfg.ThreadEfficiency,
+		PollingScale:     cfg.PollingScale,
+		Trace:            cfg.Trace,
+		Collector:        cfg.Collector,
+	}
+}
+
+// RunResult reports one simulated rckAlign execution: the unified farm
+// report (makespan, load time, farm stats, per-core utilization,
+// effective core count).
 type RunResult struct {
-	// Slaves is the slave-core count used.
-	Slaves int
-	// TotalSeconds is the simulated end-to-end time (load + farm).
-	TotalSeconds float64
-	// LoadSeconds is the master's one-time data loading cost.
-	LoadSeconds float64
-	// FarmStats reports the job distribution.
-	FarmStats rckskel.Stats
-	// Collected counts results received by the master.
-	Collected int
+	farm.Report
 }
 
 // Speedup returns base/this in time.
 func (r RunResult) Speedup(baseSeconds float64) float64 { return baseSeconds / r.TotalSeconds }
 
+// buildJobs orders the pair list per the config and converts it to
+// sized farm jobs.
+func (cfg Config) buildJobs(pr *PairResults, lengths []int) []rckskel.Job {
+	ordered := sched.Apply(pr.Pairs, cfg.Order, sched.LengthProductCost(lengths), cfg.OrderSeed)
+	return farm.BuildJobs(ordered, 0, func(p sched.Pair) int {
+		return StructBytes(lengths[p.I]) + StructBytes(lengths[p.J])
+	})
+}
+
 // Run simulates rckAlign on `slaves` slave cores (1..NumCores-1) and
 // returns the simulated timing. Results are replayed from pr, so the
 // PSC output is identical to the serial baseline by construction.
 // With cfg.ThreadsPerWorker = 2, the `slaves` cores are grouped into
-// slaves/2 dual-threaded tile workers.
+// slaves/2 dual-threaded tile workers (an odd count leaves one core
+// unused; see RunResult.DroppedCores).
 func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 	maxSlaves := cfg.Chip.NumCores() - 1
 	if slaves < 1 || slaves > maxSlaves {
@@ -185,101 +216,34 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 	if cfg.Hierarchy > 0 {
 		return runHierarchical(pr, slaves, cfg)
 	}
-	threads := cfg.ThreadsPerWorker
-	if threads < 1 {
-		threads = 1
+	s, err := farm.NewSession(cfg.session(slaves))
+	if err != nil {
+		return RunResult{}, err
 	}
-	eff := cfg.ThreadEfficiency
-	if eff <= 0 || eff > 1 {
-		eff = 0.9
-	}
-	workers := slaves / threads
-	if workers < 1 {
-		return RunResult{}, fmt.Errorf("core: %d cores cannot form a %d-thread worker", slaves, threads)
-	}
-	opScale := 1.0
-	if threads > 1 {
-		opScale = 1.0 / (float64(threads) * eff)
-	}
-
-	engine := sim.NewEngine()
-	chip := scc.New(engine, cfg.Chip)
-	comm := rcce.New(chip)
-
-	// One worker process per `threads` cores: take the slave cores in id
-	// order (skipping the master) and group them; the worker process
-	// lives on each group's first core, its thread partners contributing
-	// compute bandwidth via opScale.
-	avail := make([]int, 0, slaves)
-	for c := 0; len(avail) < slaves; c++ {
-		if c == cfg.MasterCore {
-			continue
-		}
-		avail = append(avail, c)
-	}
-	slaveIDs := make([]int, 0, workers)
-	for w := 0; w < workers; w++ {
-		slaveIDs = append(slaveIDs, avail[w*threads])
-	}
-	team := rckskel.NewTeam(comm, cfg.MasterCore, slaveIDs)
-	if cfg.PollingScale >= 0 {
-		team.DiscoveryCostScale = cfg.PollingScale
-	}
-	team.Trace = cfg.Trace
-
-	ds := pr.Dataset
-	lengths := make([]int, ds.Len())
-	for i, s := range ds.Structures {
-		lengths[i] = s.Len()
-	}
-	ordered := sched.Apply(pr.Pairs, cfg.Order, sched.LengthProductCost(lengths), cfg.OrderSeed)
-
-	jobs := make([]rckskel.Job, len(ordered))
-	for k, p := range ordered {
-		jobs[k] = rckskel.Job{
-			ID:      k,
-			Payload: p,
-			Bytes:   StructBytes(lengths[p.I]) + StructBytes(lengths[p.J]),
-		}
-	}
-
-	handler := func(job rckskel.Job) (any, costmodel.Counter, int) {
+	lengths := pr.lengths()
+	jobs := cfg.buildJobs(pr, lengths)
+	opScale := s.Placement().OpScale
+	s.StartSlaves(func(job rckskel.Job) (any, costmodel.Counter, int) {
 		p := job.Payload.(sched.Pair)
 		res := pr.Get(p)
 		return res, res.Ops.Scaled(opScale), ResultBytes(res.Len2)
-	}
-	team.StartSlaves(handler)
-
-	out := RunResult{Slaves: slaves}
-	chip.SpawnCore(cfg.MasterCore, func(p *sim.Process) {
+	})
+	rep, err := s.Run("", func(m *farm.Master) {
 		// One-time load of every structure by the master (the design
 		// choice Experiment I validates).
-		chip.Compute(p, loadOps(ds))
-		out.LoadSeconds = p.Now()
-		out.FarmStats = team.FARM(p, jobs, func(r rckskel.Result) {
-			out.Collected++
-		})
-		team.Terminate(p)
-		out.TotalSeconds = p.Now()
+		m.LoadResidues(pr.Dataset.TotalResidues())
+		m.Farm(jobs, nil)
+		m.Terminate()
 	})
-	if err := engine.Run(); err != nil {
-		return out, err
-	}
-	return out, nil
+	return RunResult{Report: rep}, err
 }
 
 // RunSweep simulates rckAlign for each slave count and returns the
 // results in order (the paper's Experiment II sweep: 1,3,...,47).
 func RunSweep(pr *PairResults, slaveCounts []int, cfg Config) ([]RunResult, error) {
-	out := make([]RunResult, 0, len(slaveCounts))
-	for _, n := range slaveCounts {
-		r, err := Run(pr, n, cfg)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return farm.Sweep(slaveCounts, func(n int) (RunResult, error) {
+		return Run(pr, n, cfg)
+	})
 }
 
 // OddSlaveCounts returns the paper's sweep 1, 3, 5, ..., max.

@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"rckalign/internal/costmodel"
-	"rckalign/internal/rcce"
+	"rckalign/internal/farm"
 	"rckalign/internal/rckskel"
-	"rckalign/internal/scc"
 	"rckalign/internal/sched"
 	"rckalign/internal/sim"
 )
@@ -30,47 +29,29 @@ func runHierarchical(pr *PairResults, slaves int, cfg Config) (RunResult, error)
 		return RunResult{}, fmt.Errorf("core: hierarchy needs %d cores, chip has %d", need, cfg.Chip.NumCores())
 	}
 
-	engine := sim.NewEngine()
-	chip := scc.New(engine, cfg.Chip)
-	comm := rcce.New(chip)
-
-	root := cfg.MasterCore
-	// Assign cores in id order, skipping the root.
-	nextCore := 0
-	take := func() int {
-		for nextCore == root {
-			nextCore++
-		}
-		c := nextCore
-		nextCore++
-		return c
+	// The session places h+slaves cores in id order (root skipped): the
+	// first h become sub-masters, the rest are dealt round-robin into the
+	// h slave partitions. Thread grouping does not apply to the
+	// hierarchical tree.
+	fcfg := cfg.session(h + slaves)
+	fcfg.ThreadsPerWorker = 0
+	fcfg.ThreadEfficiency = 0
+	s, err := farm.NewSession(fcfg)
+	if err != nil {
+		return RunResult{}, err
 	}
-	subMasters := make([]int, h)
-	for i := range subMasters {
-		subMasters[i] = take()
-	}
-	slavesOf := make([][]int, h)
-	for k := 0; k < slaves; k++ {
-		i := k % h
-		slavesOf[i] = append(slavesOf[i], take())
-	}
+	cores := s.Placement().Cores
+	subMasters := cores[:h]
+	slavesOf := farm.PartitionRoundRobin(cores[h:], h)
 
 	ds := pr.Dataset
-	lengths := make([]int, ds.Len())
-	for i, s := range ds.Structures {
-		lengths[i] = s.Len()
-	}
-	ordered := sched.Apply(pr.Pairs, cfg.Order, sched.LengthProductCost(lengths), cfg.OrderSeed)
+	lengths := pr.lengths()
+	allJobs := cfg.buildJobs(pr, lengths)
 
 	// Round-robin partition of the job list over sub-masters.
 	jobsOf := make([][]rckskel.Job, h)
-	for k, p := range ordered {
-		i := k % h
-		jobsOf[i] = append(jobsOf[i], rckskel.Job{
-			ID:      k,
-			Payload: p,
-			Bytes:   StructBytes(lengths[p.I]) + StructBytes(lengths[p.J]),
-		})
+	for k, j := range allJobs {
+		jobsOf[k%h] = append(jobsOf[k%h], j)
 	}
 
 	handler := func(job rckskel.Job) (any, costmodel.Counter, int) {
@@ -80,71 +61,52 @@ func runHierarchical(pr *PairResults, slaves int, cfg Config) (RunResult, error)
 	}
 
 	type partitionDone struct {
-		collected int
-		stats     rckskel.Stats
+		stats rckskel.Stats
 	}
 
 	teams := make([]*rckskel.Team, h)
 	for i := 0; i < h; i++ {
-		if len(slavesOf[i]) == 0 {
-			continue
-		}
-		teams[i] = rckskel.NewTeam(comm, subMasters[i], slavesOf[i])
+		teams[i] = s.NewTeam(subMasters[i], slavesOf[i])
 		teams[i].StartSlaves(handler)
 	}
 
+	rt := s.Runtime()
+	root := cfg.MasterCore
 	// Sub-master processes: receive their job batch from the root, farm
 	// it, report completion.
 	for i := 0; i < h; i++ {
 		i := i
-		if teams[i] == nil {
-			continue
-		}
-		chip.SpawnCore(subMasters[i], func(p *sim.Process) {
-			m := comm.Recv(p, root, subMasters[i])
+		rt.Chip.SpawnCore(subMasters[i], func(p *sim.Process) {
+			m := rt.Comm.Recv(p, root, subMasters[i])
 			jobs := m.Payload.([]rckskel.Job)
-			collected := 0
-			stats := teams[i].FARM(p, jobs, func(rckskel.Result) { collected++ })
+			stats := teams[i].FARM(p, jobs, func(r rckskel.Result) { s.Collect(r) })
 			teams[i].Terminate(p)
-			comm.Send(p, subMasters[i], root, 64, partitionDone{collected: collected, stats: stats})
+			rt.Comm.Send(p, subMasters[i], root, 64, partitionDone{stats: stats})
 		})
 	}
 
-	out := RunResult{Slaves: slaves}
-	chip.SpawnCore(root, func(p *sim.Process) {
-		chip.Compute(p, loadOps(ds))
-		out.LoadSeconds = p.Now()
+	rep, err := s.Run("", func(m *farm.Master) {
+		m.LoadResidues(ds.TotalResidues())
 		// Forward each partition's structures+jobs descriptor. The data
 		// volume is the same structure bytes the flat master would send,
 		// but it moves once per partition, off the per-job critical path.
 		for i := 0; i < h; i++ {
-			if teams[i] == nil {
-				continue
-			}
 			bytes := 0
 			for _, j := range jobsOf[i] {
 				bytes += j.Bytes
 			}
-			comm.Send(p, root, subMasters[i], bytes, jobsOf[i])
+			m.Comm().Send(m.P, root, subMasters[i], bytes, jobsOf[i])
 		}
-		out.FarmStats = rckskel.Stats{JobsPerSlave: map[int]int{}}
 		for i := 0; i < h; i++ {
-			if teams[i] == nil {
-				continue
-			}
-			m := comm.Recv(p, subMasters[i], root)
-			done := m.Payload.(partitionDone)
-			out.Collected += done.collected
-			for core, n := range done.stats.JobsPerSlave {
-				out.FarmStats.JobsPerSlave[core] += n
-			}
-			out.FarmStats.PollProbes += done.stats.PollProbes
+			msg := m.Comm().Recv(m.P, subMasters[i], root)
+			done := msg.Payload.(partitionDone)
+			// The sub-masters' farms overlap in time, so their makespans
+			// do not sum; the root's wall clock below is authoritative.
+			st := done.stats
+			st.MakespanSeconds = 0
+			m.MergeStats(st)
 		}
-		out.TotalSeconds = p.Now()
-		out.FarmStats.MakespanSeconds = out.TotalSeconds - out.LoadSeconds
 	})
-	if err := engine.Run(); err != nil {
-		return out, err
-	}
-	return out, nil
+	rep.FarmStats.MakespanSeconds = rep.TotalSeconds - rep.LoadSeconds
+	return RunResult{Report: rep}, err
 }

@@ -4,11 +4,9 @@ import (
 	"fmt"
 
 	"rckalign/internal/costmodel"
-	"rckalign/internal/rcce"
+	"rckalign/internal/farm"
 	"rckalign/internal/rckskel"
-	"rckalign/internal/scc"
 	"rckalign/internal/sched"
-	"rckalign/internal/sim"
 )
 
 // The paper's closing future-work item: "building support for threading
@@ -84,18 +82,18 @@ func blockPartition(lengths []int, budget int) ([][]int, error) {
 // RunTiled simulates the out-of-core all-vs-all task on `slaves` slave
 // cores under the given memory budget. Results replay from pr exactly
 // as in Run; only the master's load schedule (and therefore timing)
-// changes.
+// changes. Thread grouping does not apply to the tiled path. Block
+// (re)loading replaces the one-time load, so Report.LoadSeconds stays 0
+// and ReloadSeconds carries the loading cost instead.
 func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, error) {
 	maxSlaves := cfg.Chip.NumCores() - 1
 	if slaves < 1 || slaves > maxSlaves {
 		return TiledRunResult{}, fmt.Errorf("core: slave count %d outside [1,%d]", slaves, maxSlaves)
 	}
-	ds := pr.Dataset
-	lengths := make([]int, ds.Len())
+	lengths := pr.lengths()
 	total := 0
-	for i, s := range ds.Structures {
-		lengths[i] = s.Len()
-		total += s.Len()
+	for _, l := range lengths {
+		total += l
 	}
 	if cfg.MemoryBudgetResidues <= 0 || cfg.MemoryBudgetResidues >= total {
 		// Everything fits: identical to the flat run.
@@ -107,28 +105,18 @@ func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, err
 		return TiledRunResult{}, err
 	}
 
-	engine := sim.NewEngine()
-	chip := scc.New(engine, cfg.Chip)
-	comm := rcce.New(chip)
-	slaveIDs := make([]int, 0, slaves)
-	for c := 0; len(slaveIDs) < slaves; c++ {
-		if c == cfg.MasterCore {
-			continue
-		}
-		slaveIDs = append(slaveIDs, c)
+	fcfg := cfg.Config.session(slaves)
+	fcfg.ThreadsPerWorker = 0
+	fcfg.ThreadEfficiency = 0
+	s, err := farm.NewSession(fcfg)
+	if err != nil {
+		return TiledRunResult{}, err
 	}
-	team := rckskel.NewTeam(comm, cfg.MasterCore, slaveIDs)
-	if cfg.PollingScale >= 0 {
-		team.DiscoveryCostScale = cfg.PollingScale
-	}
-	team.Trace = cfg.Trace
-
-	handler := func(job rckskel.Job) (any, costmodel.Counter, int) {
+	s.StartSlaves(func(job rckskel.Job) (any, costmodel.Counter, int) {
 		p := job.Payload.(sched.Pair)
 		res := pr.Get(p)
 		return res, res.Ops, ResultBytes(res.Len2)
-	}
-	team.StartSlaves(handler)
+	})
 
 	blockResidues := func(b []int) int {
 		n := 0
@@ -138,37 +126,25 @@ func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, err
 		return n
 	}
 	jobsFor := func(pairs []sched.Pair) []rckskel.Job {
-		jobs := make([]rckskel.Job, len(pairs))
-		for k, p := range pairs {
-			jobs[k] = rckskel.Job{
-				ID:      k,
-				Payload: p,
-				Bytes:   StructBytes(lengths[p.I]) + StructBytes(lengths[p.J]),
-			}
-		}
-		return jobs
+		return farm.BuildJobs(pairs, 0, func(p sched.Pair) int {
+			return StructBytes(lengths[p.I]) + StructBytes(lengths[p.J])
+		})
 	}
 
-	out := TiledRunResult{RunResult: RunResult{Slaves: slaves}, Blocks: len(blocks)}
-	out.FarmStats = rckskel.Stats{JobsPerSlave: map[int]int{}}
-
-	chip.SpawnCore(cfg.MasterCore, func(p *sim.Process) {
+	out := TiledRunResult{Blocks: len(blocks)}
+	rep, err := s.Run("", func(m *farm.Master) {
 		loadBlock := func(b []int) {
 			d := float64(blockResidues(b)) * cfg.ReloadSecondsPerResidue
-			p.Wait(d)
-			chip.Compute(p, costmodel.Counter{ResiduesLoaded: uint64(blockResidues(b))})
+			m.P.Wait(d)
+			m.Chip().Compute(m.P, costmodel.Counter{ResiduesLoaded: uint64(blockResidues(b))})
 			out.BlockLoads++
 			out.ReloadSeconds += d
 		}
-		farm := func(pairs []sched.Pair) {
+		farmPairs := func(pairs []sched.Pair) {
 			if len(pairs) == 0 {
 				return
 			}
-			st := team.FARM(p, jobsFor(pairs), func(rckskel.Result) { out.Collected++ })
-			for c, n := range st.JobsPerSlave {
-				out.FarmStats.JobsPerSlave[c] += n
-			}
-			out.FarmStats.PollProbes += st.PollProbes
+			m.Farm(jobsFor(pairs), nil)
 		}
 
 		// Diagonal tiles: within-block pairs.
@@ -180,7 +156,7 @@ func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, err
 					pairs = append(pairs, sched.Pair{I: b[x], J: b[y]})
 				}
 			}
-			farm(pairs)
+			farmPairs(pairs)
 			// Off-diagonal tiles: this block against every later block.
 			for bj := bi + 1; bj < len(blocks); bj++ {
 				loadBlock(blocks[bj])
@@ -190,15 +166,22 @@ func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, err
 						cross = append(cross, sched.Pair{I: i, J: j})
 					}
 				}
-				farm(cross)
+				farmPairs(cross)
 			}
 		}
-		team.Terminate(p)
-		out.TotalSeconds = p.Now()
-		out.FarmStats.MakespanSeconds = out.TotalSeconds
+		m.Terminate()
 	})
-	if err := engine.Run(); err != nil {
-		return out, err
-	}
-	return out, nil
+	// The per-tile farms run back to back; the end-to-end wall clock is
+	// the meaningful makespan for the tiled schedule.
+	rep.FarmStats.MakespanSeconds = rep.TotalSeconds
+	out.RunResult = RunResult{Report: rep}
+	return out, err
+}
+
+// RunTiledSweep simulates the tiled run for each slave count and
+// returns the results in order.
+func RunTiledSweep(pr *PairResults, slaveCounts []int, cfg TiledConfig) ([]TiledRunResult, error) {
+	return farm.Sweep(slaveCounts, func(n int) (TiledRunResult, error) {
+		return RunTiled(pr, n, cfg)
+	})
 }

@@ -5,15 +5,23 @@
 // environment setup, and (b) NFS reads of its two input structures
 // through the MCPC's single disk controller — the two overheads the
 // paper identifies as the reasons rckAlign wins (Section V-C).
+//
+// The baseline runs on the farm harness with an off-chip master
+// (farm.HostMaster): the harness owns runtime construction, slave
+// placement and reporting, while this package keeps its bespoke
+// pssh/NFS job protocol.
 package dist
 
 import (
 	"fmt"
 
 	"rckalign/internal/core"
+	"rckalign/internal/farm"
+	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
 	"rckalign/internal/sim"
+	"rckalign/internal/trace"
 )
 
 // Config models the MCPC-side costs.
@@ -32,6 +40,10 @@ type Config struct {
 	NFSSeekSeconds float64
 	// NFSBytesPerSecond is the NFS data bandwidth (shared).
 	NFSBytesPerSecond float64
+	// Trace, when non-nil, receives per-core compute intervals.
+	Trace *trace.Recorder
+	// Collector, when non-nil, observes every collected result.
+	Collector farm.Collector
 }
 
 // DefaultConfig returns values calibrated so the CK34 curve lands in the
@@ -49,12 +61,10 @@ func DefaultConfig() Config {
 
 // RunResult reports one simulated distributed-TM-align execution.
 type RunResult struct {
-	Slaves       int
-	TotalSeconds float64
+	farm.Report
 	// DiskBusySeconds is the cumulative disk service time (for
 	// utilisation analysis).
 	DiskBusySeconds float64
-	Collected       int
 }
 
 // Run simulates the all-vs-all task on `slaves` SCC cores driven from
@@ -63,21 +73,30 @@ func Run(pr *core.PairResults, slaves int, cfg Config) (RunResult, error) {
 	if slaves < 1 || slaves > cfg.Chip.NumCores() {
 		return RunResult{}, fmt.Errorf("dist: slave count %d outside [1,%d]", slaves, cfg.Chip.NumCores())
 	}
-	engine := sim.NewEngine()
-	chip := scc.New(engine, cfg.Chip)
+	s, err := farm.NewSession(farm.Config{
+		Backend:    farm.SCCSim{Chip: cfg.Chip},
+		MasterCore: farm.HostMaster,
+		Slaves:     slaves,
+		Trace:      cfg.Trace,
+		Collector:  cfg.Collector,
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	rt := s.Runtime()
+	rec := s.Trace()
 	disk := sim.NewResource("mcpc-disk", 1)
 	jobCh := sim.NewChan("pssh")
 	doneCh := sim.NewChan("done")
 
 	ds := pr.Dataset
 	lengths := make([]int, ds.Len())
-	for i, s := range ds.Structures {
-		lengths[i] = s.Len()
+	for i, st := range ds.Structures {
+		lengths[i] = st.Len()
 	}
 
-	out := RunResult{Slaves: slaves}
-
 	type jobMsg struct {
+		id   int
 		pair sched.Pair
 	}
 	type stop struct{}
@@ -85,30 +104,34 @@ func Run(pr *core.PairResults, slaves int, cfg Config) (RunResult, error) {
 	// Slave cores: each loops pulling the next job from the MCPC master.
 	// Every job is a fresh process: spawn, read both inputs over NFS,
 	// compute, exit.
-	for s := 0; s < slaves; s++ {
-		chip.SpawnCore(s, func(p *sim.Process) {
+	for _, c := range s.Placement().Cores {
+		c := c
+		rt.Chip.SpawnCore(c, func(p *sim.Process) {
 			for {
 				m := jobCh.Recv(p)
 				if _, halt := m.(stop); halt {
 					return
 				}
-				pair := m.(jobMsg).pair
+				jm := m.(jobMsg)
 				p.Wait(cfg.SpawnSeconds)
-				for _, idx := range [2]int{pair.I, pair.J} {
+				for _, idx := range [2]int{jm.pair.I, jm.pair.J} {
 					disk.Acquire(p)
 					p.Wait(cfg.NFSSeekSeconds + float64(core.FileBytes(lengths[idx]))/cfg.NFSBytesPerSecond)
 					disk.Release(p)
 				}
-				res := pr.Get(pair)
-				chip.Compute(p, res.Ops)
-				doneCh.Send(p, res)
+				res := pr.Get(jm.pair)
+				start := p.Now()
+				rt.Chip.Compute(p, res.Ops)
+				rec.Add(rt.Chip.CoreName(c), start, p.Now(), "compute")
+				doneCh.Send(p, rckskel.Result{JobID: jm.id, Slave: c, Payload: res})
 			}
 		})
 	}
 
 	// MCPC master: issue jobs to whichever core pulls next (pssh to a
 	// free node), then collect completions.
-	engine.Spawn("mcpc-master", func(p *sim.Process) {
+	rep, err := s.Run("mcpc-master", func(m *farm.Master) {
+		p := m.P
 		issued := 0
 		collected := 0
 		// Prime every core with one job (each Send hands the job to the
@@ -119,41 +142,31 @@ func Run(pr *core.PairResults, slaves int, cfg Config) (RunResult, error) {
 		}
 		for issued < prime {
 			p.Wait(cfg.DispatchSeconds)
-			jobCh.Send(p, jobMsg{pair: pr.Pairs[issued]})
+			jobCh.Send(p, jobMsg{id: issued, pair: pr.Pairs[issued]})
 			issued++
 		}
 		for collected < len(pr.Pairs) {
-			doneCh.Recv(p)
+			r := doneCh.Recv(p).(rckskel.Result)
+			m.Session().Collect(r)
 			collected++
 			if issued < len(pr.Pairs) {
 				p.Wait(cfg.DispatchSeconds)
-				jobCh.Send(p, jobMsg{pair: pr.Pairs[issued]})
+				jobCh.Send(p, jobMsg{id: issued, pair: pr.Pairs[issued]})
 				issued++
 			}
 		}
-		for s := 0; s < slaves; s++ {
+		for range s.Placement().Cores {
 			jobCh.Send(p, stop{})
 		}
-		out.Collected = collected
-		out.TotalSeconds = p.Now()
 	})
-
-	if err := engine.Run(); err != nil {
-		return out, err
-	}
+	out := RunResult{Report: rep}
 	out.DiskBusySeconds = disk.BusySeconds()
-	return out, nil
+	return out, err
 }
 
 // RunSweep simulates the baseline across slave counts.
 func RunSweep(pr *core.PairResults, slaveCounts []int, cfg Config) ([]RunResult, error) {
-	out := make([]RunResult, 0, len(slaveCounts))
-	for _, n := range slaveCounts {
-		r, err := Run(pr, n, cfg)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return farm.Sweep(slaveCounts, func(n int) (RunResult, error) {
+		return Run(pr, n, cfg)
+	})
 }

@@ -18,7 +18,6 @@ import (
 	"rckalign/internal/mcpsc"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
-	"rckalign/internal/sim"
 	"rckalign/internal/stats"
 	"rckalign/internal/synth"
 	"rckalign/internal/tmalign"
@@ -362,7 +361,7 @@ func (e *Env) FasterCoresAblation() (*stats.Table, error) {
 		}
 		masterBusy := 0.0
 		if r.TotalSeconds > 0 {
-			masterBusy = rec.BusySeconds(scc.New(sim.NewEngine(), cfg.Chip).CoreName(cfg.MasterCore)) / r.TotalSeconds
+			masterBusy = r.CoreBusySeconds[cfg.Chip.CoreName(cfg.MasterCore)] / r.TotalSeconds
 		}
 		tcfg := cfg
 		tcfg.Trace = nil

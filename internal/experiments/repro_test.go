@@ -18,6 +18,9 @@ import (
 
 func cacheDir(t *testing.T) string {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("full-dataset reproduction in -short mode")
+	}
 	dir := filepath.Join("..", "..", "testdata", "paircache")
 	if _, err := os.Stat(filepath.Join(dir, "CK34.gob")); err != nil {
 		t.Skipf("pair cache missing: %v", err)

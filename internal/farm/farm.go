@@ -1,0 +1,368 @@
+// Package farm is the unified run harness beneath every master–slaves
+// execution path in this repository (core.Run, the hierarchical and
+// tiled variants, the distributed MCPC baseline and the multi-criteria
+// PSC farms). It owns the pieces those paths used to duplicate:
+// simulation runtime construction (engine + chip + comm) behind a
+// pluggable Backend, slave placement (master skip, thread-grouped tile
+// workers, contiguous method partitions), job building, master spawn,
+// result collection through a pluggable Collector, termination, and a
+// uniform Report with per-core utilization derived from trace.
+//
+// A path composes a Session instead of copying a 150-line run function:
+//
+//	s, _ := farm.NewSession(farm.Config{Backend: farm.SCCSim{Chip: chip}, Slaves: n})
+//	s.StartSlaves(handler)
+//	rep, err := s.Run("", func(m *farm.Master) {
+//	        m.LoadResidues(ds.TotalResidues())
+//	        m.Farm(jobs, nil)
+//	        m.Terminate()
+//	})
+package farm
+
+import (
+	"fmt"
+
+	"rckalign/internal/costmodel"
+	"rckalign/internal/rcce"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/scc"
+	"rckalign/internal/sim"
+	"rckalign/internal/trace"
+)
+
+// Runtime bundles the simulated platform objects a farm executes on.
+type Runtime struct {
+	Engine *sim.Engine
+	Chip   *scc.Chip
+	Comm   *rcce.Comm
+}
+
+// Backend constructs fresh runtimes. The simulated SCC is the only
+// implementation today; the interface is the seam for a future
+// host-parallel or sharded backend.
+type Backend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// NewRuntime builds an independent runtime for one execution.
+	NewRuntime() Runtime
+	// NumCores is the number of cores the runtime will expose.
+	NumCores() int
+}
+
+// SCCSim is the default backend: the discrete-event SCC model.
+type SCCSim struct {
+	Chip scc.Config
+}
+
+// Name implements Backend.
+func (b SCCSim) Name() string { return "scc-sim" }
+
+// NumCores implements Backend.
+func (b SCCSim) NumCores() int { return b.Chip.NumCores() }
+
+// NewRuntime implements Backend.
+func (b SCCSim) NewRuntime() Runtime {
+	engine := sim.NewEngine()
+	chip := scc.New(engine, b.Chip)
+	return Runtime{Engine: engine, Chip: chip, Comm: rcce.New(chip)}
+}
+
+// Collector receives every result gathered by the master, after the
+// session's own bookkeeping and before the run path's domain logic. It
+// is the plug-in point for experiment instrumentation (histograms,
+// progress streams, custom sinks) that should work across all paths.
+type Collector interface {
+	Collect(r rckskel.Result)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(rckskel.Result)
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect(r rckskel.Result) { f(r) }
+
+// HostMaster as Config.MasterCore places the master off-chip (an MCPC
+// host process driving the cores, as in the distributed baseline): no
+// core is reserved for it and slave placement starts at core 0.
+const HostMaster = -1
+
+// Config describes one farm session.
+type Config struct {
+	// Backend builds the runtime (nil = SCCSim with the default chip).
+	Backend Backend
+	// MasterCore hosts the master process (HostMaster = off-chip).
+	MasterCore int
+	// Slaves is the number of slave cores to place.
+	Slaves int
+	// ThreadsPerWorker groups that many consecutive slave cores into one
+	// worker process (2 = dual-core tile workers). When the slave count
+	// is not a multiple, the leftover cores are not used; the rounding is
+	// reported in Report.EffectiveCores / Report.DroppedCores.
+	ThreadsPerWorker int
+	// ThreadEfficiency is the per-thread scaling efficiency of grouped
+	// workers (default 0.9).
+	ThreadEfficiency float64
+	// PollingScale scales the master's round-robin polling discovery
+	// cost on every team (1 = the paper's busy polling, 0 = ideal
+	// event-driven notification). Values below zero are treated as 1.
+	PollingScale float64
+	// Trace, when non-nil, receives per-core activity intervals. The
+	// session records into an internal recorder when nil, so Report
+	// utilization is always available.
+	Trace *trace.Recorder
+	// Collector, when non-nil, observes every collected result.
+	Collector Collector
+}
+
+// Report is the uniform outcome of a farm execution.
+type Report struct {
+	// Backend names the runtime backend used.
+	Backend string
+	// Slaves is the requested slave-core count.
+	Slaves int
+	// Workers is the number of worker processes placed.
+	Workers int
+	// EffectiveCores counts the slave cores actually contributing
+	// compute (Workers * threads); with thread-grouped workers and a
+	// slave count that is not a multiple of the group size this is less
+	// than Slaves.
+	EffectiveCores int
+	// DroppedCores = Slaves - EffectiveCores (leftover cores that could
+	// not form a complete worker).
+	DroppedCores int
+	// LoadSeconds is the master's one-time data loading cost.
+	LoadSeconds float64
+	// TotalSeconds is the simulated end-to-end time.
+	TotalSeconds float64
+	// FarmStats merges the job-distribution statistics of every farm the
+	// master executed.
+	FarmStats rckskel.Stats
+	// Collected counts results received by the master(s).
+	Collected int
+	// CoreBusySeconds maps each traced core to its busy time.
+	CoreBusySeconds map[string]float64
+	// CoreUtilization maps each traced core to its busy fraction of the
+	// run window [0, TotalSeconds].
+	CoreUtilization map[string]float64
+	// BusySecondsPerMethod sums compute seconds per comparison method
+	// (multi-criteria farms only).
+	BusySecondsPerMethod map[string]float64
+}
+
+// Session is a constructed farm: runtime, placement and report
+// bookkeeping. Start slaves (or spawn custom core processes), then call
+// Run with the master body.
+type Session struct {
+	cfg   Config
+	rt    Runtime
+	place Placement
+	rec   *trace.Recorder
+	team  *rckskel.Team
+	rep   Report
+}
+
+// NewSession validates the configuration, builds the runtime and places
+// the slaves.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Backend == nil {
+		cfg.Backend = SCCSim{Chip: scc.DefaultConfig()}
+	}
+	place, err := Place(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.New()
+	}
+	s := &Session{cfg: cfg, rt: cfg.Backend.NewRuntime(), place: place, rec: rec}
+	s.rep = Report{
+		Backend:              cfg.Backend.Name(),
+		Slaves:               cfg.Slaves,
+		Workers:              len(place.WorkerLeads),
+		EffectiveCores:       place.EffectiveCores,
+		DroppedCores:         place.DroppedCores,
+		FarmStats:            rckskel.Stats{JobsPerSlave: map[int]int{}},
+		CoreBusySeconds:      map[string]float64{},
+		CoreUtilization:      map[string]float64{},
+		BusySecondsPerMethod: map[string]float64{},
+	}
+	return s, nil
+}
+
+// Runtime returns the session's runtime.
+func (s *Session) Runtime() Runtime { return s.rt }
+
+// Placement returns the slave placement.
+func (s *Session) Placement() Placement { return s.place }
+
+// Trace returns the effective activity recorder (the configured one, or
+// the session's internal recorder).
+func (s *Session) Trace() *trace.Recorder { return s.rec }
+
+// Team returns the session's default team: the configured master plus
+// one slave process per placed worker. Built on first use; requires an
+// on-chip master.
+func (s *Session) Team() *rckskel.Team {
+	if s.team == nil {
+		if s.cfg.MasterCore == HostMaster {
+			panic("farm: the default team requires an on-chip master")
+		}
+		s.team = s.NewTeam(s.cfg.MasterCore, s.place.WorkerLeads)
+	}
+	return s.team
+}
+
+// NewTeam builds an additional team (e.g. a sub-master partition of a
+// hierarchical farm) with the session's polling and trace settings
+// applied.
+func (s *Session) NewTeam(master int, slaves []int) *rckskel.Team {
+	t := rckskel.NewTeam(s.rt.Comm, master, slaves)
+	if s.cfg.PollingScale >= 0 {
+		t.DiscoveryCostScale = s.cfg.PollingScale
+	}
+	t.Trace = s.rec
+	return t
+}
+
+// StartSlaves spawns the default team's slave loops with one handler.
+func (s *Session) StartSlaves(h rckskel.Handler) { s.Team().StartSlaves(h) }
+
+// StartSlavesWith spawns the default team's slave loops with a per-core
+// handler (different cores may run different comparison methods).
+func (s *Session) StartSlavesWith(h func(core int) rckskel.Handler) {
+	s.Team().StartSlavesWith(h)
+}
+
+// Collect performs the session's result bookkeeping: it counts the
+// result and forwards it to the configured Collector. Farm and
+// FarmDynamic call it for every result; run paths with bespoke
+// collection loops (the distributed baseline) call it directly.
+func (s *Session) Collect(r rckskel.Result) {
+	s.rep.Collected++
+	if s.cfg.Collector != nil {
+		s.cfg.Collector.Collect(r)
+	}
+}
+
+// mergeStats folds one farm execution's statistics into the report.
+func (s *Session) mergeStats(st rckskel.Stats) {
+	for core, n := range st.JobsPerSlave {
+		s.rep.FarmStats.JobsPerSlave[core] += n
+	}
+	s.rep.FarmStats.PollProbes += st.PollProbes
+	s.rep.FarmStats.MakespanSeconds += st.MakespanSeconds
+}
+
+// Run spawns the master process (on the configured core, or as a host
+// process when MasterCore is HostMaster), executes the simulation to
+// completion and returns the finalized report. name labels an off-chip
+// master process ("" = "master"); on-chip masters are named after their
+// core. Slaves must have been started (or custom core processes
+// spawned) before Run is called, matching the construction order of the
+// hand-rolled run paths this layer replaces.
+func (s *Session) Run(name string, body func(m *Master)) (Report, error) {
+	master := &Master{s: s}
+	wrapped := func(p *sim.Process) {
+		master.P = p
+		body(master)
+		s.rep.TotalSeconds = p.Now()
+	}
+	if s.cfg.MasterCore == HostMaster {
+		if name == "" {
+			name = "master"
+		}
+		s.rt.Engine.Spawn(name, wrapped)
+	} else {
+		s.rt.Chip.SpawnCore(s.cfg.MasterCore, wrapped)
+	}
+	err := s.rt.Engine.Run()
+	s.finalize()
+	return s.rep, err
+}
+
+// finalize derives the per-core busy/utilization columns from the trace.
+func (s *Session) finalize() {
+	for _, track := range s.rec.Tracks() {
+		busy := s.rec.BusySeconds(track)
+		s.rep.CoreBusySeconds[track] = busy
+		if s.rep.TotalSeconds > 0 {
+			s.rep.CoreUtilization[track] = s.rec.Utilization(track, 0, s.rep.TotalSeconds)
+		}
+	}
+}
+
+// Master wraps the running master process with report bookkeeping. It
+// is only valid inside the body passed to Session.Run.
+type Master struct {
+	// P is the master's simulated process.
+	P *sim.Process
+	s *Session
+}
+
+// Session returns the owning session.
+func (m *Master) Session() *Session { return m.s }
+
+// Chip returns the runtime's chip model.
+func (m *Master) Chip() *scc.Chip { return m.s.rt.Chip }
+
+// Comm returns the runtime's communication layer.
+func (m *Master) Comm() *rcce.Comm { return m.s.rt.Comm }
+
+// LoadResidues charges the one-time cost of parsing n residues into
+// memory and records Report.LoadSeconds.
+func (m *Master) LoadResidues(n int) {
+	m.s.rt.Chip.Compute(m.P, costmodel.Counter{ResiduesLoaded: uint64(n)})
+	m.s.rep.LoadSeconds = m.P.Now()
+}
+
+// Farm executes the jobs on the default team (the paper's FARM
+// construct), routing every result through the session's collection
+// bookkeeping and then collect (may be nil). It returns this farm's
+// statistics; the report accumulates them across calls.
+func (m *Master) Farm(jobs []rckskel.Job, collect func(rckskel.Result)) rckskel.Stats {
+	st := m.s.Team().FARM(m.P, jobs, func(r rckskel.Result) {
+		m.s.Collect(r)
+		if collect != nil {
+			collect(r)
+		}
+	})
+	m.s.mergeStats(st)
+	return st
+}
+
+// FarmDynamic is Farm with a pull-based job source: next(slave) supplies
+// the next job for that slave (partitioned multi-method farms).
+func (m *Master) FarmDynamic(next func(slave int) (rckskel.Job, bool), collect func(rckskel.Result)) rckskel.Stats {
+	st := m.s.Team().FARMDynamic(m.P, next, func(r rckskel.Result) {
+		m.s.Collect(r)
+		if collect != nil {
+			collect(r)
+		}
+	})
+	m.s.mergeStats(st)
+	return st
+}
+
+// MergeStats folds an externally executed farm's statistics into the
+// report (hierarchical sub-master partitions).
+func (m *Master) MergeStats(st rckskel.Stats) { m.s.mergeStats(st) }
+
+// SetLoadSeconds overrides Report.LoadSeconds for paths whose loading
+// is not a single LoadResidues call.
+func (m *Master) SetLoadSeconds(t float64) { m.s.rep.LoadSeconds = t }
+
+// AddMethodBusy accumulates compute seconds for one comparison method
+// into Report.BusySecondsPerMethod.
+func (m *Master) AddMethodBusy(method string, seconds float64) {
+	m.s.rep.BusySecondsPerMethod[method] += seconds
+}
+
+// Terminate shuts down the default team's slaves.
+func (m *Master) Terminate() { m.s.Team().Terminate(m.P) }
+
+// String renders a one-line report summary.
+func (r Report) String() string {
+	return fmt.Sprintf("farm[%s]: slaves=%d workers=%d effective=%d total=%.3fs load=%.3fs collected=%d",
+		r.Backend, r.Slaves, r.Workers, r.EffectiveCores, r.TotalSeconds, r.LoadSeconds, r.Collected)
+}

@@ -1,0 +1,32 @@
+package farm
+
+import (
+	"rckalign/internal/rckskel"
+	"rckalign/internal/sched"
+)
+
+// BuildJobs converts an ordered pair list into rckskel jobs: job k gets
+// ID idBase+k and the wire size returned by bytes (the request payload
+// the master ships to a slave).
+func BuildJobs(pairs []sched.Pair, idBase int, bytes func(p sched.Pair) int) []rckskel.Job {
+	jobs := make([]rckskel.Job, len(pairs))
+	for k, p := range pairs {
+		jobs[k] = rckskel.Job{ID: idBase + k, Payload: p, Bytes: bytes(p)}
+	}
+	return jobs
+}
+
+// Sweep runs one farm execution per slave count and collects the
+// results in order, stopping at the first error — the shared shape of
+// the paper's Experiment II sweeps (core, dist and tiled).
+func Sweep[R any](slaveCounts []int, run func(slaves int) (R, error)) ([]R, error) {
+	out := make([]R, 0, len(slaveCounts))
+	for _, n := range slaveCounts {
+		r, err := run(n)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

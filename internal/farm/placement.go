@@ -1,0 +1,107 @@
+package farm
+
+import "fmt"
+
+// Placement assigns slave cores and groups them into worker processes.
+type Placement struct {
+	// Master is the master's core (HostMaster when off-chip).
+	Master int
+	// Cores lists the placed slave cores in id order (master skipped).
+	Cores []int
+	// WorkerLeads holds the first core of each worker process; the
+	// worker's thread partners are the following Threads-1 cores.
+	WorkerLeads []int
+	// Threads is the per-worker thread count (>= 1).
+	Threads int
+	// OpScale scales a job's operation counts on a multi-threaded
+	// worker: 1/(Threads*efficiency), 1 for single-threaded workers.
+	OpScale float64
+	// EffectiveCores = len(WorkerLeads) * Threads.
+	EffectiveCores int
+	// DroppedCores counts placed cores that could not form a complete
+	// worker (Slaves mod Threads leftovers).
+	DroppedCores int
+}
+
+// Place computes the slave placement for a config: cfg.Slaves cores in
+// id order, skipping the master core when it is on-chip, grouped into
+// workers of cfg.ThreadsPerWorker cores.
+func Place(cfg Config) (Placement, error) {
+	if cfg.Backend == nil {
+		return Placement{}, fmt.Errorf("farm: no backend")
+	}
+	numCores := cfg.Backend.NumCores()
+	maxSlaves := numCores
+	if cfg.MasterCore != HostMaster {
+		if cfg.MasterCore < 0 || cfg.MasterCore >= numCores {
+			return Placement{}, fmt.Errorf("farm: master core %d outside [0,%d)", cfg.MasterCore, numCores)
+		}
+		maxSlaves--
+	}
+	if cfg.Slaves < 1 || cfg.Slaves > maxSlaves {
+		return Placement{}, fmt.Errorf("farm: slave count %d outside [1,%d]", cfg.Slaves, maxSlaves)
+	}
+	threads := cfg.ThreadsPerWorker
+	if threads < 1 {
+		threads = 1
+	}
+	eff := cfg.ThreadEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 0.9
+	}
+	workers := cfg.Slaves / threads
+	if workers < 1 {
+		return Placement{}, fmt.Errorf("farm: %d cores cannot form a %d-thread worker", cfg.Slaves, threads)
+	}
+	opScale := 1.0
+	if threads > 1 {
+		opScale = 1.0 / (float64(threads) * eff)
+	}
+	cores := make([]int, 0, cfg.Slaves)
+	for c := 0; len(cores) < cfg.Slaves; c++ {
+		if c == cfg.MasterCore {
+			continue
+		}
+		cores = append(cores, c)
+	}
+	leads := make([]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		leads = append(leads, cores[w*threads])
+	}
+	return Placement{
+		Master:         cfg.MasterCore,
+		Cores:          cores,
+		WorkerLeads:    leads,
+		Threads:        threads,
+		OpScale:        opScale,
+		EffectiveCores: workers * threads,
+		DroppedCores:   cfg.Slaves - workers*threads,
+	}, nil
+}
+
+// PartitionContiguous splits cores into len(sizes) contiguous groups
+// (sizes must sum to len(cores)): the placement used to dedicate core
+// ranges to different comparison methods.
+func PartitionContiguous(cores []int, sizes []int) [][]int {
+	out := make([][]int, len(sizes))
+	idx := 0
+	for i, n := range sizes {
+		out[i] = cores[idx : idx+n]
+		idx += n
+	}
+	if idx != len(cores) {
+		panic(fmt.Sprintf("farm: partition sizes cover %d of %d cores", idx, len(cores)))
+	}
+	return out
+}
+
+// PartitionRoundRobin deals cores one by one into n groups (group i
+// receives cores i, i+n, i+2n, ...), the assignment used by the
+// hierarchical master tree and the one-vs-all method split.
+func PartitionRoundRobin(cores []int, n int) [][]int {
+	out := make([][]int, n)
+	for k, c := range cores {
+		out[k%n] = append(out[k%n], c)
+	}
+	return out
+}

@@ -5,11 +5,9 @@ import (
 
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
-	"rckalign/internal/rcce"
+	"rckalign/internal/farm"
 	"rckalign/internal/rckskel"
-	"rckalign/internal/scc"
 	"rckalign/internal/sched"
-	"rckalign/internal/sim"
 	"rckalign/internal/synth"
 )
 
@@ -24,16 +22,12 @@ import (
 
 // AllVsAllResult reports a simulated multi-criteria all-vs-all run.
 type AllVsAllResult struct {
+	farm.Report
 	// Similarity[m][i][j] is method m's score for structure pair (i,j)
 	// (symmetric, diagonal 1).
 	Similarity map[string][][]float64
-	// TotalSeconds is the simulated makespan.
-	TotalSeconds float64
 	// SlavesPerMethod records the partition used.
 	SlavesPerMethod map[string]int
-	// BusySecondsPerMethod sums the compute seconds charged by each
-	// method's slaves (for partition-balance analysis).
-	BusySecondsPerMethod map[string]float64
 }
 
 // EqualPartition assigns slaves round-robin to methods.
@@ -104,32 +98,23 @@ func RunAllVsAll(ds *synth.Dataset, methods []Method, partition []int, cfg RunCo
 		return AllVsAllResult{}, fmt.Errorf("mcpsc: %d slaves exceed chip capacity", slaves)
 	}
 
-	engine := sim.NewEngine()
-	chip := scc.New(engine, cfg.Chip)
-	comm := rcce.New(chip)
-
-	slaveIDs := make([]int, 0, slaves)
-	for c := 0; len(slaveIDs) < slaves; c++ {
-		if c == cfg.MasterCore {
-			continue
-		}
-		slaveIDs = append(slaveIDs, c)
+	s, err := farm.NewSession(cfg.session(slaves))
+	if err != nil {
+		return AllVsAllResult{}, err
 	}
-	team := rckskel.NewTeam(comm, cfg.MasterCore, slaveIDs)
+	slaveIDs := s.Placement().Cores
 
-	// Contiguous partition assignment.
+	// Contiguous partition assignment: each method gets a dedicated core
+	// range.
 	methodOf := map[int]int{}
-	idx := 0
 	out := AllVsAllResult{
-		Similarity:           map[string][][]float64{},
-		SlavesPerMethod:      map[string]int{},
-		BusySecondsPerMethod: map[string]float64{},
+		Similarity:      map[string][][]float64{},
+		SlavesPerMethod: map[string]int{},
 	}
-	for m, n := range partition {
-		out.SlavesPerMethod[methods[m].Name()] = n
-		for k := 0; k < n; k++ {
-			methodOf[slaveIDs[idx]] = m
-			idx++
+	for m, group := range farm.PartitionContiguous(slaveIDs, partition) {
+		out.SlavesPerMethod[methods[m].Name()] = len(group)
+		for _, c := range group {
+			methodOf[c] = m
 		}
 	}
 
@@ -145,52 +130,45 @@ func RunAllVsAll(ds *synth.Dataset, methods []Method, partition []int, cfg RunCo
 
 	queues := make([][]rckskel.Job, len(methods))
 	for m := range methods {
-		queues[m] = make([]rckskel.Job, len(pairs))
-		for k, p := range pairs {
-			queues[m][k] = rckskel.Job{
-				ID:      m*len(pairs) + k,
-				Payload: p,
-				Bytes:   core.StructBytes(ds.Structures[p.I].Len()) + core.StructBytes(ds.Structures[p.J].Len()),
-			}
-		}
+		queues[m] = farm.BuildJobs(pairs, m*len(pairs), func(p sched.Pair) int {
+			return core.StructBytes(ds.Structures[p.I].Len()) + core.StructBytes(ds.Structures[p.J].Len())
+		})
 	}
 	heads := make([]int, len(methods))
 	cpu := cfg.Chip.CPU
+	rb := cfg.resultBytes()
 
-	team.StartSlavesWith(func(slave int) rckskel.Handler {
+	s.StartSlavesWith(func(slave int) rckskel.Handler {
 		m := methods[methodOf[slave]]
 		return func(job rckskel.Job) (any, costmodel.Counter, int) {
 			p := job.Payload.(sched.Pair)
-			s := m.Compare(ds.Structures[p.I], ds.Structures[p.J])
-			return s, s.Ops, 64
+			sc := m.Compare(ds.Structures[p.I], ds.Structures[p.J])
+			return sc, sc.Ops, rb(sc)
 		}
 	})
 
-	chip.SpawnCore(cfg.MasterCore, func(p *sim.Process) {
-		chip.Compute(p, costmodel.Counter{ResiduesLoaded: uint64(ds.TotalResidues())})
-		team.FARMDynamic(p, func(slave int) (rckskel.Job, bool) {
-			m := methodOf[slave]
-			if heads[m] >= len(queues[m]) {
+	rep, err := s.Run("", func(m *farm.Master) {
+		m.LoadResidues(ds.TotalResidues())
+		m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
+			mi := methodOf[slave]
+			if heads[mi] >= len(queues[mi]) {
 				return rckskel.Job{}, false
 			}
-			j := queues[m][heads[m]]
-			heads[m]++
+			j := queues[mi][heads[mi]]
+			heads[mi]++
 			return j, true
 		}, func(r rckskel.Result) {
-			s := r.Payload.(Score)
+			sc := r.Payload.(Score)
 			pair := pairs[r.JobID%len(pairs)]
-			mat := out.Similarity[s.Method]
-			mat[pair.I][pair.J] = s.Value
-			mat[pair.J][pair.I] = s.Value
-			out.BusySecondsPerMethod[s.Method] += cpu.Seconds(s.Ops)
+			mat := out.Similarity[sc.Method]
+			mat[pair.I][pair.J] = sc.Value
+			mat[pair.J][pair.I] = sc.Value
+			m.AddMethodBusy(sc.Method, cpu.Seconds(sc.Ops))
 		})
-		team.Terminate(p)
-		out.TotalSeconds = p.Now()
+		m.Terminate()
 	})
-	if err := engine.Run(); err != nil {
-		return out, err
-	}
-	return out, nil
+	out.Report = rep
+	return out, err
 }
 
 // ConsensusMatrix fuses the per-method matrices of an all-vs-all run

@@ -5,17 +5,25 @@ import (
 
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
-	"rckalign/internal/rcce"
+	"rckalign/internal/farm"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
-	"rckalign/internal/sim"
 	"rckalign/internal/synth"
+	"rckalign/internal/trace"
 )
 
 // RunConfig tunes a simulated MC-PSC execution.
 type RunConfig struct {
 	Chip       scc.Config
 	MasterCore int
+	// ResultBytes models the wire size of one result message (nil =
+	// ScoreBytes). Override to study the result-traffic sensitivity or
+	// to pin the legacy flat 64-byte model.
+	ResultBytes func(Score) int
+	// Trace, when non-nil, receives per-core activity intervals.
+	Trace *trace.Recorder
+	// Collector, when non-nil, observes every collected result.
+	Collector farm.Collector
 }
 
 // DefaultRunConfig mirrors the rckAlign setup (master on core 0).
@@ -23,9 +31,31 @@ func DefaultRunConfig() RunConfig {
 	return RunConfig{Chip: scc.DefaultConfig(), MasterCore: 0}
 }
 
+// session maps an MC-PSC config onto the farm harness. MC-PSC always
+// uses the paper's busy polling (PollingScale 1).
+func (cfg RunConfig) session(slaves int) farm.Config {
+	return farm.Config{
+		Backend:      farm.SCCSim{Chip: cfg.Chip},
+		MasterCore:   cfg.MasterCore,
+		Slaves:       slaves,
+		PollingScale: 1,
+		Trace:        cfg.Trace,
+		Collector:    cfg.Collector,
+	}
+}
+
+// resultBytes returns the configured result wire-size model.
+func (cfg RunConfig) resultBytes() func(Score) int {
+	if cfg.ResultBytes != nil {
+		return cfg.ResultBytes
+	}
+	return ScoreBytes
+}
+
 // RunResult is the outcome of a simulated multi-criteria one-vs-all
 // query.
 type RunResult struct {
+	farm.Report
 	// Targets lists the dataset indices compared against the query.
 	Targets []int
 	// PerMethod maps method name to similarity scores (aligned with
@@ -35,8 +65,6 @@ type RunResult struct {
 	Consensus []float64
 	// Ranking orders positions in Targets by descending consensus.
 	Ranking []int
-	// TotalSeconds is the simulated makespan.
-	TotalSeconds float64
 	// SlavesPerMethod records the core partition sizes.
 	SlavesPerMethod map[string]int
 }
@@ -62,26 +90,20 @@ func RunOneVsAll(ds *synth.Dataset, query int, methods []Method, slaves int, cfg
 		return RunResult{}, fmt.Errorf("mcpsc: %d slaves exceed chip capacity %d", slaves, cfg.Chip.NumCores()-1)
 	}
 
-	engine := sim.NewEngine()
-	chip := scc.New(engine, cfg.Chip)
-	comm := rcce.New(chip)
-
-	slaveIDs := make([]int, 0, slaves)
-	for c := 0; len(slaveIDs) < slaves; c++ {
-		if c == cfg.MasterCore {
-			continue
-		}
-		slaveIDs = append(slaveIDs, c)
+	s, err := farm.NewSession(cfg.session(slaves))
+	if err != nil {
+		return RunResult{}, err
 	}
-	team := rckskel.NewTeam(comm, cfg.MasterCore, slaveIDs)
+	slaveIDs := s.Placement().Cores
 
 	// Partition slaves among methods round-robin.
 	methodOf := map[int]int{}
 	perMethodSlaves := map[string]int{}
-	for i, core_ := range slaveIDs {
-		m := i % len(methods)
-		methodOf[core_] = m
-		perMethodSlaves[methods[m].Name()]++
+	for m, group := range farm.PartitionRoundRobin(slaveIDs, len(methods)) {
+		perMethodSlaves[methods[m].Name()] = len(group)
+		for _, c := range group {
+			methodOf[c] = m
+		}
 	}
 
 	var targets []int
@@ -108,16 +130,16 @@ func RunOneVsAll(ds *synth.Dataset, query int, methods []Method, slaves int, cfg
 		}
 	}
 	heads := make([]int, len(methods))
+	rb := cfg.resultBytes()
 
-	handler := func(slave int) rckskel.Handler {
+	s.StartSlavesWith(func(slave int) rckskel.Handler {
 		m := methods[methodOf[slave]]
 		return func(job rckskel.Job) (any, costmodel.Counter, int) {
 			pl := job.Payload.(payload)
-			s := m.Compare(ds.Structures[query], ds.Structures[targets[pl.pos]])
-			return s, s.Ops, 64
+			sc := m.Compare(ds.Structures[query], ds.Structures[targets[pl.pos]])
+			return sc, sc.Ops, rb(sc)
 		}
-	}
-	team.StartSlavesWith(handler)
+	})
 
 	out := RunResult{
 		Targets:         targets,
@@ -128,25 +150,25 @@ func RunOneVsAll(ds *synth.Dataset, query int, methods []Method, slaves int, cfg
 		out.PerMethod[m.Name()] = make([]float64, len(targets))
 	}
 
-	chip.SpawnCore(cfg.MasterCore, func(p *sim.Process) {
-		chip.Compute(p, costmodel.Counter{ResiduesLoaded: uint64(ds.TotalResidues())})
-		team.FARMDynamic(p, func(slave int) (rckskel.Job, bool) {
-			m := methodOf[slave]
-			if heads[m] >= len(queues[m]) {
+	rep, err := s.Run("", func(m *farm.Master) {
+		m.LoadResidues(ds.TotalResidues())
+		m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
+			mi := methodOf[slave]
+			if heads[mi] >= len(queues[mi]) {
 				return rckskel.Job{}, false
 			}
-			j := queues[m][heads[m]]
-			heads[m]++
+			j := queues[mi][heads[mi]]
+			heads[mi]++
 			return j, true
 		}, func(r rckskel.Result) {
-			s := r.Payload.(Score)
+			sc := r.Payload.(Score)
 			pl := payloadOf(r.JobID, len(targets))
-			out.PerMethod[s.Method][pl] = s.Value
+			out.PerMethod[sc.Method][pl] = sc.Value
 		})
-		team.Terminate(p)
-		out.TotalSeconds = p.Now()
+		m.Terminate()
 	})
-	if err := engine.Run(); err != nil {
+	out.Report = rep
+	if err != nil {
 		return out, err
 	}
 

@@ -1,0 +1,18 @@
+package mcpsc
+
+import "unsafe"
+
+// ScoreBytes models the wire size of one multi-criteria result as a
+// slave returns it to the master: a small header, the method label, the
+// score value and the operation counters that travel with it for the
+// master's per-method accounting. This replaces the old flat 64-byte
+// guess, which undercharged every method with a label longer than a few
+// characters and ignored the counter block entirely.
+func ScoreBytes(s Score) int {
+	const (
+		header   = 16                        // framing: method length + job routing
+		value    = 8                         // float64 score
+		counters = int(unsafe.Sizeof(s.Ops)) // the full Counter block
+	)
+	return header + len(s.Method) + value + counters
+}

@@ -63,6 +63,10 @@ func (c Config) MPBTotal() int { return c.NumTiles() * c.MPBBytesPerTile }
 // size for large messages).
 func (c Config) MPBPerCore() int { return c.MPBBytesPerTile / c.CoresPerTile }
 
+// CoreName returns the SCC host name of a core (rck00...rck47) without
+// needing an instantiated chip; trace tracks and farm reports key on it.
+func (c Config) CoreName(core int) string { return fmt.Sprintf("rck%02d", core) }
+
 // Chip is an instantiated SCC attached to a simulation engine.
 type Chip struct {
 	cfg    Config
@@ -112,7 +116,7 @@ func (c *Chip) CoordOf(core int) noc.Coord {
 // CoreName returns the SCC host name of a core (rck00...rck47).
 func (c *Chip) CoreName(core int) string {
 	c.checkCore(core)
-	return fmt.Sprintf("rck%02d", core)
+	return c.cfg.CoreName(core)
 }
 
 func (c *Chip) checkCore(core int) {
