@@ -7,7 +7,11 @@
 // Usage:
 //
 //	rckalign [-dataset CK34|RS119] [-slaves N | -sweep] [-order FIFO|LPT|Random]
-//	         [-hierarchy H] [-cache DIR] [-fast] [-csv]
+//	         [-hierarchy H] [-cache DIR] [-fast] [-csv] [-faults SPEC]
+//
+// -faults takes a fault-injection spec (see internal/fault.ParseSpec),
+// e.g. "seed=1;kill=12@40;kill=30@90;drop=*>0@p0.01", and switches the
+// run onto the fault-tolerant farm protocol.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
+	"rckalign/internal/fault"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
 	"rckalign/internal/synth"
@@ -39,6 +44,8 @@ func main() {
 	util := flag.Bool("util", false, "print the per-core utilization of the (last) run")
 	threads := flag.Int("threads", 1, "threads per worker (2 = dual-core tile workers; paper future work)")
 	memBudget := flag.Int("membudget", 0, "master memory budget in residues (0 = unlimited; >0 = out-of-core tiled run)")
+	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. \"seed=1;kill=12@40;drop=*>0@p0.01\" (empty = no faults)")
+	deadline := flag.Float64("deadline", 0, "fault-tolerant per-job deadline in seconds (0 = derive from workload)")
 	flag.Parse()
 
 	ds, err := synth.ByName(*dataset)
@@ -61,6 +68,14 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Hierarchy = *hierarchy
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = plan
+		cfg.FT.JobDeadlineSeconds = *deadline
+	}
 	switch strings.ToUpper(*order) {
 	case "FIFO":
 		cfg.Order = sched.FIFO
@@ -114,6 +129,19 @@ func main() {
 		sp := baseline / rep.TotalSeconds
 		// Efficiency counts only the cores that actually form workers.
 		tb.AddRowf(n, rep.TotalSeconds, sp, sp/float64(rep.EffectiveCores))
+		if f := rep.Faults; f != nil {
+			fmt.Fprintf(os.Stderr,
+				"faults (%d slaves): injected kills=%d stalls=%d drops=%d delays=%d corruptions=%d; "+
+					"dead=%v timeouts=%d retries=%d reassigned=%d corrupt-detected=%d duplicates=%d lost=%d blacklisted=%v\n",
+				n, f.Injected.CoresKilled, f.Injected.CoresStalled, f.Injected.Dropped,
+				f.Injected.Delayed, f.Injected.Corrupted, f.DeadCores, f.Timeouts,
+				f.Retries, f.Reassigned, f.DetectedCorrupt, f.DuplicatesDropped,
+				f.LostJobs, f.Blacklisted)
+			if f.LostJobs > 0 {
+				fmt.Fprintf(os.Stderr, "warning: degraded completion, %d of %d pairs lost\n",
+					f.LostJobs, ds.Pairs())
+			}
+		}
 	}
 	if *csv {
 		fmt.Print(tb.CSV())

@@ -22,6 +22,7 @@ import (
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
+	"rckalign/internal/fault"
 	"rckalign/internal/pdb"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
@@ -123,6 +124,62 @@ func ComputeAllPairs(ds *synth.Dataset, opt tmalign.Options, parallelism int) *P
 	return pr
 }
 
+// DeadlineMargin is the safety factor DeriveJobDeadline applies on top
+// of the most expensive job's compute time, covering staging, transfer
+// and discovery latency so a healthy slave never trips its deadline.
+const DeadlineMargin = 3.0
+
+// DeriveJobDeadline returns the default fault-tolerant job deadline for
+// a workload: DeadlineMargin times the compute seconds of the most
+// expensive pair at the given per-core op scale.
+func DeriveJobDeadline(pr *PairResults, cpu costmodel.CPU, opScale float64) float64 {
+	max := 0.0
+	for _, r := range pr.Results {
+		if s := cpu.Seconds(r.Ops.Scaled(opScale)); s > max {
+			max = s
+		}
+	}
+	return DeadlineMargin * max
+}
+
+// SynthPairResults fabricates a PairResults for timing-only simulations
+// without running native TM-align: structures carry the given chain
+// lengths and each pair's operation count is a length-product DP cost.
+// Scores, transforms and alignments are zero — only Ops and Len2 are
+// populated, which is all the simulators consume. Resilience tests and
+// sweeps use this to get a CK34-sized workload in microseconds.
+func SynthPairResults(name string, lengths []int) *PairResults {
+	ds := &synth.Dataset{Name: name}
+	for i, l := range lengths {
+		ds.Structures = append(ds.Structures, &pdb.Structure{
+			ID:       fmt.Sprintf("%s-%03d", name, i),
+			Residues: make([]pdb.Residue, l),
+		})
+	}
+	pairs := sched.AllVsAll(len(lengths))
+	pr := &PairResults{
+		Dataset: ds,
+		Pairs:   pairs,
+		Results: make([]*tmalign.Result, len(pairs)),
+		index:   make(map[sched.Pair]int, len(pairs)),
+	}
+	for k, p := range pairs {
+		pr.index[p] = k
+		l1, l2 := lengths[p.I], lengths[p.J]
+		// ~30 DP sweeps over the L1 x L2 matrix approximates TM-align's
+		// iterative refinement; exact magnitude only shifts the time scale.
+		pr.Results[k] = &tmalign.Result{
+			Len1: l1,
+			Len2: l2,
+			Ops: costmodel.Counter{
+				DPCells:    30 * uint64(l1) * uint64(l2),
+				ScoreEvals: 30 * uint64(min(l1, l2)),
+			},
+		}
+	}
+	return pr
+}
+
 // Config tunes an rckAlign simulation run.
 type Config struct {
 	// Chip is the SCC model (DefaultConfig = Table I).
@@ -162,6 +219,15 @@ type Config struct {
 	// ThreadEfficiency is the per-thread scaling efficiency (default
 	// 0.9; DP and scoring parallelise well, the Kabsch solves less so).
 	ThreadEfficiency float64
+	// Faults, when non-nil, arms the deterministic fault injector for
+	// the run and switches the master onto the fault-tolerant farm
+	// protocol. Only the flat single-master path supports faults; the
+	// hierarchical and tiled paths reject a plan up front.
+	Faults *fault.Plan
+	// FT tunes the fault-tolerant protocol (only consulted when Faults
+	// is set). A zero JobDeadlineSeconds derives a deadline from the
+	// most expensive job in the workload (see DeriveJobDeadline).
+	FT rckskel.FTConfig
 }
 
 // DefaultConfig returns the paper's setup.
@@ -180,6 +246,8 @@ func (cfg Config) session(slaves int) farm.Config {
 		PollingScale:     cfg.PollingScale,
 		Trace:            cfg.Trace,
 		Collector:        cfg.Collector,
+		Faults:           cfg.Faults,
+		FT:               cfg.FT,
 	}
 }
 
@@ -214,6 +282,9 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("core: slave count %d outside [1,%d]", slaves, maxSlaves)
 	}
 	if cfg.Hierarchy > 0 {
+		if cfg.Faults != nil {
+			return RunResult{}, fmt.Errorf("core: hierarchical run: %w", farm.ErrFaultsUnsupported)
+		}
 		return runHierarchical(pr, slaves, cfg)
 	}
 	s, err := farm.NewSession(cfg.session(slaves))
@@ -223,6 +294,9 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 	lengths := pr.lengths()
 	jobs := cfg.buildJobs(pr, lengths)
 	opScale := s.Placement().OpScale
+	if cfg.Faults != nil && cfg.FT.JobDeadlineSeconds == 0 {
+		s.SetJobDeadline(DeriveJobDeadline(pr, cfg.Chip.CPU, opScale))
+	}
 	s.StartSlaves(func(job rckskel.Job) (any, costmodel.Counter, int) {
 		p := job.Payload.(sched.Pair)
 		res := pr.Get(p)

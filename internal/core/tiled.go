@@ -90,6 +90,9 @@ func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, err
 	if slaves < 1 || slaves > maxSlaves {
 		return TiledRunResult{}, fmt.Errorf("core: slave count %d outside [1,%d]", slaves, maxSlaves)
 	}
+	if cfg.Faults != nil {
+		return TiledRunResult{}, fmt.Errorf("core: tiled run: %w", farm.ErrFaultsUnsupported)
+	}
 	lengths := pr.lengths()
 	total := 0
 	for _, l := range lengths {

@@ -15,6 +15,7 @@ import (
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
 	"rckalign/internal/dist"
+	"rckalign/internal/fault"
 	"rckalign/internal/mcpsc"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
@@ -377,6 +378,49 @@ func (e *Env) FasterCoresAblation() (*stats.Table, error) {
 	return tb, nil
 }
 
+// ResilienceSweep quantifies the fault-tolerant farm's degradation on
+// e.CK34: the all-vs-all task on 47 slaves with k slave cores
+// fail-stopped at staggered points of the run. While any slave
+// survives, every pair must still be scored (Lost stays 0); the
+// makespan shows what the deadline-driven recovery costs.
+func (e *Env) ResilienceSweep() (*stats.Table, error) { return ResilienceSweep(e.CK34) }
+
+// ResilienceSweep is the underlying sweep over any workload (tests use
+// a synthetic CK34-sized one, see core.SynthPairResults).
+func ResilienceSweep(pr *core.PairResults) (*stats.Table, error) {
+	const slaves = 47
+	base, err := core.Run(pr, slaves, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	t0 := base.TotalSeconds
+	tb := stats.NewTable(
+		fmt.Sprintf("Resilience: %s all-vs-all, %d slaves, k cores killed mid-run (fault-free makespan %.1f s)",
+			pr.Dataset.Name, slaves, t0),
+		"Killed", "Time (s)", "Slowdown", "Timeouts", "Retries", "Reassigned", "Lost")
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		plan := &fault.Plan{Seed: 1}
+		for i := 0; i < k; i++ {
+			// Victims spread over the slave range, deaths staggered over
+			// the first 80% of the fault-free makespan.
+			plan.Kills = append(plan.Kills, fault.CoreFailure{
+				Core: 1 + (i*11)%slaves,
+				At:   0.8 * t0 * float64(i+1) / float64(k+1),
+			})
+		}
+		cfg := core.DefaultConfig()
+		cfg.Faults = plan
+		r, err := core.Run(pr, slaves, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f := r.Faults
+		tb.AddRowf(k, r.TotalSeconds, r.TotalSeconds/t0,
+			f.Timeouts, f.Retries, f.Reassigned, f.LostJobs)
+	}
+	return tb, nil
+}
+
 // MCPSCPartitionAblation studies the paper's MC-PSC open question —
 // how to split the chip's cores among comparison methods of very
 // different complexity — by running a multi-criteria all-vs-all task
@@ -448,5 +492,10 @@ func (e *Env) WriteAll(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, mp.String())
+	rs, err := e.ResilienceSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, rs.String())
 	return nil
 }

@@ -179,3 +179,30 @@ func TestFigureRenderers(t *testing.T) {
 		t.Error("Figure 6 should omit the missing RS119 series")
 	}
 }
+
+// synthCK34 fabricates a CK34-sized workload (34 chains, 561 pairs)
+// without running native TM-align, so the resilience sweep stays fast.
+func synthCK34() *core.PairResults {
+	ds := synth.CK34()
+	lengths := make([]int, ds.Len())
+	for i, s := range ds.Structures {
+		lengths[i] = s.Len()
+	}
+	return core.SynthPairResults("CK34-synth", lengths)
+}
+
+func TestResilienceSweep(t *testing.T) {
+	tb, err := ResilienceSweep(synthCK34())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 5 {
+		t.Errorf("resilience rows = %d, want 5 (k = 0,1,2,4,8)", tb.NumRows())
+	}
+	out := tb.String()
+	for _, want := range []string{"Killed", "Slowdown", "Lost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resilience table missing %q:\n%s", want, out)
+		}
+	}
+}

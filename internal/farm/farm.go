@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"rckalign/internal/costmodel"
+	"rckalign/internal/fault"
 	"rckalign/internal/rcce"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
@@ -112,6 +113,16 @@ type Config struct {
 	Trace *trace.Recorder
 	// Collector, when non-nil, observes every collected result.
 	Collector Collector
+	// Faults, when non-nil, runs the session fault-tolerantly: the plan
+	// is injected (kills, stalls, link faults) and the farm uses
+	// deadline-based detection with retry, reassignment and
+	// blacklisting. A non-nil but empty plan exercises the
+	// fault-tolerant machinery with nothing injected — the report must
+	// come out identical to the classic path.
+	Faults *fault.Plan
+	// FT tunes the fault-tolerant farm (deadlines, blacklisting).
+	// Ignored when Faults is nil.
+	FT rckskel.FTConfig
 }
 
 // Report is the uniform outcome of a farm execution.
@@ -147,22 +158,48 @@ type Report struct {
 	// BusySecondsPerMethod sums compute seconds per comparison method
 	// (multi-criteria farms only).
 	BusySecondsPerMethod map[string]float64
+	// Faults summarises fault injection and recovery (nil on the
+	// classic, fault-free path).
+	Faults *FaultStats
+}
+
+// FaultStats is the Report block for fault-tolerant runs: what was
+// injected at the wire and cores, and what the farm's detection and
+// recovery machinery did about it.
+type FaultStats struct {
+	// Injected counts the faults the plan actually delivered.
+	Injected fault.Stats
+	// DeadCores lists fail-stopped cores, sorted.
+	DeadCores []int
+	// Timeouts, Retries, Reassigned, DetectedCorrupt, Duplicates
+	// Dropped, LostJobs and Blacklisted mirror rckskel.FTStats,
+	// accumulated over every farm the master executed.
+	Timeouts          int
+	DetectedCorrupt   int
+	Retries           int
+	Reassigned        int
+	DuplicatesDropped int
+	LostJobs          int
+	Blacklisted       []int
 }
 
 // Session is a constructed farm: runtime, placement and report
 // bookkeeping. Start slaves (or spawn custom core processes), then call
 // Run with the master body.
 type Session struct {
-	cfg   Config
-	rt    Runtime
-	place Placement
-	rec   *trace.Recorder
-	team  *rckskel.Team
-	rep   Report
+	cfg      Config
+	rt       Runtime
+	place    Placement
+	rec      *trace.Recorder
+	team     *rckskel.Team
+	rep      Report
+	injector *fault.Injector
+	ft       rckskel.FTStats
 }
 
-// NewSession validates the configuration, builds the runtime and places
-// the slaves.
+// NewSession validates the configuration, builds the runtime, places
+// the slaves and, when a fault plan is configured, arms the injector
+// (kill/stall events scheduled, wire interposer installed).
 func NewSession(cfg Config) (*Session, error) {
 	if cfg.Backend == nil {
 		cfg.Backend = SCCSim{Chip: scc.DefaultConfig()}
@@ -176,6 +213,22 @@ func NewSession(cfg Config) (*Session, error) {
 		rec = trace.New()
 	}
 	s := &Session{cfg: cfg, rt: cfg.Backend.NewRuntime(), place: place, rec: rec}
+	if cfg.Faults != nil {
+		if s.rt.Chip == nil || s.rt.Comm == nil {
+			return nil, fmt.Errorf("farm: %w: backend %s has no simulated chip", ErrFaultsUnsupported, cfg.Backend.Name())
+		}
+		master := cfg.MasterCore
+		if master == HostMaster {
+			// Off-chip master: no core is exempt from faults.
+			master = -1
+		}
+		if err := cfg.Faults.Validate(cfg.Backend.NumCores(), master); err != nil {
+			return nil, fmt.Errorf("farm: %w: %v", ErrFaultPlan, err)
+		}
+		s.injector = fault.NewInjector(cfg.Faults)
+		s.injector.Arm(s.rt.Chip, rec)
+		s.rt.Comm.SetInterposer(s.injector)
+	}
 	s.rep = Report{
 		Backend:              cfg.Backend.Name(),
 		Slaves:               cfg.Slaves,
@@ -188,6 +241,28 @@ func NewSession(cfg Config) (*Session, error) {
 		BusySecondsPerMethod: map[string]float64{},
 	}
 	return s, nil
+}
+
+// FaultTolerant reports whether the session runs the fault-tolerant
+// farm path (a fault plan was configured, possibly empty).
+func (s *Session) FaultTolerant() bool { return s.cfg.Faults != nil }
+
+// Injector returns the armed fault injector (nil on the classic path).
+func (s *Session) Injector() *fault.Injector { return s.injector }
+
+// SetJobDeadline overrides the fault-tolerant job deadline after
+// construction; core.Run uses it to install a workload-derived deadline
+// when the config left JobDeadlineSeconds at zero.
+func (s *Session) SetJobDeadline(seconds float64) { s.cfg.FT.JobDeadlineSeconds = seconds }
+
+// ValidateJobs rejects nil or empty job lists with ErrNoJobs; run
+// paths call it before farming so a misconfigured experiment fails
+// loudly instead of simulating nothing.
+func ValidateJobs(jobs []rckskel.Job) error {
+	if len(jobs) == 0 {
+		return fmt.Errorf("farm: %w", ErrNoJobs)
+	}
+	return nil
 }
 
 // Runtime returns the session's runtime.
@@ -225,12 +300,23 @@ func (s *Session) NewTeam(master int, slaves []int) *rckskel.Team {
 	return t
 }
 
-// StartSlaves spawns the default team's slave loops with one handler.
-func (s *Session) StartSlaves(h rckskel.Handler) { s.Team().StartSlaves(h) }
+// StartSlaves spawns the default team's slave loops with one handler
+// (the fault-tolerant variant when a fault plan is configured).
+func (s *Session) StartSlaves(h rckskel.Handler) {
+	if s.FaultTolerant() {
+		s.Team().StartSlavesFT(h)
+		return
+	}
+	s.Team().StartSlaves(h)
+}
 
 // StartSlavesWith spawns the default team's slave loops with a per-core
 // handler (different cores may run different comparison methods).
 func (s *Session) StartSlavesWith(h func(core int) rckskel.Handler) {
+	if s.FaultTolerant() {
+		s.Team().StartSlavesFTWith(h)
+		return
+	}
 	s.Team().StartSlavesWith(h)
 }
 
@@ -281,13 +367,27 @@ func (s *Session) Run(name string, body func(m *Master)) (Report, error) {
 	return s.rep, err
 }
 
-// finalize derives the per-core busy/utilization columns from the trace.
+// finalize derives the per-core busy/utilization columns from the
+// trace and, on fault-tolerant runs, the fault summary block.
 func (s *Session) finalize() {
 	for _, track := range s.rec.Tracks() {
 		busy := s.rec.BusySeconds(track)
 		s.rep.CoreBusySeconds[track] = busy
 		if s.rep.TotalSeconds > 0 {
 			s.rep.CoreUtilization[track] = s.rec.Utilization(track, 0, s.rep.TotalSeconds)
+		}
+	}
+	if s.injector != nil {
+		s.rep.Faults = &FaultStats{
+			Injected:          s.injector.Stats(),
+			DeadCores:         s.injector.DeadCores(),
+			Timeouts:          s.ft.Timeouts,
+			DetectedCorrupt:   s.ft.CorruptDetected,
+			Retries:           s.ft.Retries,
+			Reassigned:        s.ft.Reassigned,
+			DuplicatesDropped: s.ft.DuplicatesDropped,
+			LostJobs:          s.ft.LostJobs,
+			Blacklisted:       s.ft.Blacklisted,
 		}
 	}
 }
@@ -317,23 +417,48 @@ func (m *Master) LoadResidues(n int) {
 }
 
 // Farm executes the jobs on the default team (the paper's FARM
-// construct), routing every result through the session's collection
-// bookkeeping and then collect (may be nil). It returns this farm's
-// statistics; the report accumulates them across calls.
+// construct; FARMFT when a fault plan is configured), routing every
+// result through the session's collection bookkeeping and then collect
+// (may be nil). It returns this farm's statistics; the report
+// accumulates them across calls.
 func (m *Master) Farm(jobs []rckskel.Job, collect func(rckskel.Result)) rckskel.Stats {
-	st := m.s.Team().FARM(m.P, jobs, func(r rckskel.Result) {
+	wrapped := func(r rckskel.Result) {
 		m.s.Collect(r)
 		if collect != nil {
 			collect(r)
 		}
-	})
+	}
+	if m.s.FaultTolerant() {
+		st, ft := m.s.Team().FARMFT(m.P, jobs, m.s.cfg.FT, wrapped)
+		m.s.mergeStats(st)
+		m.s.mergeFT(ft)
+		return st
+	}
+	st := m.s.Team().FARM(m.P, jobs, wrapped)
 	m.s.mergeStats(st)
 	return st
 }
 
+// mergeFT folds one FARMFT execution's fault statistics into the
+// session.
+func (s *Session) mergeFT(ft rckskel.FTStats) {
+	s.ft.Timeouts += ft.Timeouts
+	s.ft.CorruptDetected += ft.CorruptDetected
+	s.ft.Retries += ft.Retries
+	s.ft.Reassigned += ft.Reassigned
+	s.ft.DuplicatesDropped += ft.DuplicatesDropped
+	s.ft.LostJobs += ft.LostJobs
+	s.ft.Blacklisted = append(s.ft.Blacklisted, ft.Blacklisted...)
+}
+
 // FarmDynamic is Farm with a pull-based job source: next(slave) supplies
-// the next job for that slave (partitioned multi-method farms).
+// the next job for that slave (partitioned multi-method farms). It has
+// no fault-tolerant variant: run paths built on it must reject fault
+// plans (ErrFaultsUnsupported) before constructing the session.
 func (m *Master) FarmDynamic(next func(slave int) (rckskel.Job, bool), collect func(rckskel.Result)) rckskel.Stats {
+	if m.s.FaultTolerant() {
+		panic("farm: FarmDynamic cannot run fault-tolerantly; reject the fault plan up front")
+	}
 	st := m.s.Team().FARMDynamic(m.P, next, func(r rckskel.Result) {
 		m.s.Collect(r)
 		if collect != nil {
@@ -358,8 +483,15 @@ func (m *Master) AddMethodBusy(method string, seconds float64) {
 	m.s.rep.BusySecondsPerMethod[method] += seconds
 }
 
-// Terminate shuts down the default team's slaves.
-func (m *Master) Terminate() { m.s.Team().Terminate(m.P) }
+// Terminate shuts down the default team's slaves (via the stop latch
+// and straggler drain on the fault-tolerant path).
+func (m *Master) Terminate() {
+	if m.s.FaultTolerant() {
+		m.s.Team().TerminateFT(m.P)
+		return
+	}
+	m.s.Team().Terminate(m.P)
+}
 
 // String renders a one-line report summary.
 func (r Report) String() string {

@@ -9,6 +9,7 @@ package farm_test
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"reflect"
@@ -17,6 +18,8 @@ import (
 
 	"rckalign/internal/core"
 	"rckalign/internal/dist"
+	"rckalign/internal/farm"
+	"rckalign/internal/fault"
 	"rckalign/internal/mcpsc"
 	"rckalign/internal/sched"
 	"rckalign/internal/synth"
@@ -322,6 +325,90 @@ func TestScoreBytesChargesContent(t *testing.T) {
 		t.Errorf("content-sized results should cost more: modeled %v <= legacy %v",
 			modeled.TotalSeconds, legacy.TotalSeconds)
 	}
+}
+
+// TestGoldenZeroPlanEquivalence re-runs every flat golden scenario with
+// an empty fault plan and demands a bit-identical Report: the
+// fault-tolerant machinery (interposer, deadlines, ring-based
+// discovery) must cost nothing when no faults are injected. The
+// hierarchical and tiled scenarios reject fault plans up front, which
+// is asserted instead.
+func TestGoldenZeroPlanEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native TM-align pass in -short mode")
+	}
+	pr := goldenPairs()
+
+	lpt := core.DefaultConfig()
+	lpt.Order = sched.LPT
+	random := core.DefaultConfig()
+	random.Order = sched.Random
+	random.OrderSeed = 42
+	poll0 := core.DefaultConfig()
+	poll0.PollingScale = 0
+	threads2 := core.DefaultConfig()
+	threads2.ThreadsPerWorker = 2
+
+	scenarios := map[string]struct {
+		slaves int
+		cfg    core.Config
+	}{
+		"core-flat-s1":     {1, core.DefaultConfig()},
+		"core-flat-s4":     {4, core.DefaultConfig()},
+		"core-flat-s7":     {7, core.DefaultConfig()},
+		"core-lpt-s5":      {5, lpt},
+		"core-random-s5":   {5, random},
+		"core-poll0-s4":    {4, poll0},
+		"core-threads2-s6": {6, threads2},
+		"core-threads2-s7": {7, threads2},
+	}
+	for name, sc := range scenarios {
+		sc := sc
+		t.Run(name, func(t *testing.T) {
+			classic, err := core.Run(pr, sc.slaves, sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fcfg := sc.cfg
+			fcfg.Faults = &fault.Plan{}
+			ft, err := core.Run(pr, sc.slaves, fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := ft.Faults
+			if f == nil {
+				t.Fatal("fault-tolerant run produced no Faults block")
+			}
+			if f.Injected.Total() != 0 || len(f.DeadCores) != 0 ||
+				f.Timeouts != 0 || f.DetectedCorrupt != 0 || f.Retries != 0 ||
+				f.Reassigned != 0 || f.DuplicatesDropped != 0 || f.LostJobs != 0 ||
+				len(f.Blacklisted) != 0 {
+				t.Errorf("empty plan left nonzero fault stats: %+v", f)
+			}
+			got := ft.Report
+			got.Faults = nil
+			if !reflect.DeepEqual(classic.Report, got) {
+				t.Errorf("zero-plan report diverges from classic:\nclassic %+v\nft      %+v",
+					classic.Report, got)
+			}
+		})
+	}
+
+	t.Run("core-hier2-s6", func(t *testing.T) {
+		cfg := core.DefaultConfig()
+		cfg.Hierarchy = 2
+		cfg.Faults = &fault.Plan{}
+		if _, err := core.Run(pr, 6, cfg); !errors.Is(err, farm.ErrFaultsUnsupported) {
+			t.Errorf("hierarchical run with a plan: err = %v, want ErrFaultsUnsupported", err)
+		}
+	})
+	t.Run("core-tiled-s4", func(t *testing.T) {
+		tcfg := core.DefaultTiledConfig(pr.Dataset.TotalResidues() * 2 / 5)
+		tcfg.Faults = &fault.Plan{}
+		if _, err := core.RunTiled(pr, 4, tcfg); !errors.Is(err, farm.ErrFaultsUnsupported) {
+			t.Errorf("tiled run with a plan: err = %v, want ErrFaultsUnsupported", err)
+		}
+	})
 }
 
 // TestReportDeterminism runs the same configuration twice and demands

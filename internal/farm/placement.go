@@ -1,6 +1,32 @@
 package farm
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed configuration errors, matchable with errors.Is. Place and
+// NewSession wrap them with the offending values.
+var (
+	// ErrNoBackend reports a Config with no runtime backend.
+	ErrNoBackend = errors.New("no backend")
+	// ErrMasterCore reports an on-chip master core outside the chip.
+	ErrMasterCore = errors.New("master core out of range")
+	// ErrSlaveCount reports a slave count below 1 or beyond the cores
+	// the backend can offer.
+	ErrSlaveCount = errors.New("slave count out of range")
+	// ErrWorkerGrouping reports too few slave cores to form even one
+	// thread-grouped worker.
+	ErrWorkerGrouping = errors.New("cannot form a worker")
+	// ErrNoJobs reports a nil or empty job list handed to a farm.
+	ErrNoJobs = errors.New("no jobs")
+	// ErrFaultPlan reports an invalid fault plan (out-of-range cores,
+	// faults aimed at the master, bad probabilities).
+	ErrFaultPlan = errors.New("invalid fault plan")
+	// ErrFaultsUnsupported reports a run path that cannot execute
+	// fault-tolerantly (hierarchical and partitioned farms).
+	ErrFaultsUnsupported = errors.New("fault injection unsupported for this path")
+)
 
 // Placement assigns slave cores and groups them into worker processes.
 type Placement struct {
@@ -28,18 +54,18 @@ type Placement struct {
 // workers of cfg.ThreadsPerWorker cores.
 func Place(cfg Config) (Placement, error) {
 	if cfg.Backend == nil {
-		return Placement{}, fmt.Errorf("farm: no backend")
+		return Placement{}, fmt.Errorf("farm: %w", ErrNoBackend)
 	}
 	numCores := cfg.Backend.NumCores()
 	maxSlaves := numCores
 	if cfg.MasterCore != HostMaster {
 		if cfg.MasterCore < 0 || cfg.MasterCore >= numCores {
-			return Placement{}, fmt.Errorf("farm: master core %d outside [0,%d)", cfg.MasterCore, numCores)
+			return Placement{}, fmt.Errorf("farm: %w: core %d outside [0,%d)", ErrMasterCore, cfg.MasterCore, numCores)
 		}
 		maxSlaves--
 	}
 	if cfg.Slaves < 1 || cfg.Slaves > maxSlaves {
-		return Placement{}, fmt.Errorf("farm: slave count %d outside [1,%d]", cfg.Slaves, maxSlaves)
+		return Placement{}, fmt.Errorf("farm: %w: %d outside [1,%d]", ErrSlaveCount, cfg.Slaves, maxSlaves)
 	}
 	threads := cfg.ThreadsPerWorker
 	if threads < 1 {
@@ -51,7 +77,7 @@ func Place(cfg Config) (Placement, error) {
 	}
 	workers := cfg.Slaves / threads
 	if workers < 1 {
-		return Placement{}, fmt.Errorf("farm: %d cores cannot form a %d-thread worker", cfg.Slaves, threads)
+		return Placement{}, fmt.Errorf("farm: %w: %d cores for a %d-thread worker", ErrWorkerGrouping, cfg.Slaves, threads)
 	}
 	opScale := 1.0
 	if threads > 1 {

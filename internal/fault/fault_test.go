@@ -1,0 +1,281 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"rckalign/internal/rcce"
+	"rckalign/internal/scc"
+	"rckalign/internal/sim"
+	"rckalign/internal/trace"
+)
+
+func TestParseSpec(t *testing.T) {
+	pl, err := ParseSpec("seed=7; kill=12@0.5 ;stall=20@1.0+0.25;drop=*>0@p0.01;corrupt=5>0@every100;delay=3>4@0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{
+		Seed:   7,
+		Kills:  []CoreFailure{{Core: 12, At: 0.5}},
+		Stalls: []CoreStall{{Core: 20, At: 1.0, Duration: 0.25}},
+		Links: []LinkFault{
+			{Src: Wildcard, Dst: 0, DropProb: 0.01},
+			{Src: 5, Dst: 0, CorruptEvery: 100},
+			{Src: 3, Dst: 4, DelaySeconds: 0.001},
+		},
+	}
+	if !reflect.DeepEqual(pl, want) {
+		t.Errorf("parsed plan = %+v, want %+v", pl, want)
+	}
+	if empty, err := ParseSpec("  "); err != nil || !empty.Empty() {
+		t.Errorf("blank spec: %+v, %v", empty, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",
+		"frob=1@2",
+		"kill=12",
+		"kill=x@1",
+		"stall=3@1",
+		"drop=1>2@x5",
+		"drop=1>2@p1.5",
+		"drop=1>2@every0",
+		"corrupt=1@p0.5",
+		"delay=1>2@-1",
+		"seed=notanumber",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	ok := &Plan{
+		Kills:  []CoreFailure{{Core: 5, At: 1}},
+		Stalls: []CoreStall{{Core: 6, At: 0, Duration: 2}},
+		Links:  []LinkFault{{Src: Wildcard, Dst: 0, DropProb: 0.5}},
+	}
+	if err := ok.Validate(48, 0); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if err := (*Plan)(nil).Validate(48, 0); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+	for name, pl := range map[string]*Plan{
+		"kill out of range":  {Kills: []CoreFailure{{Core: 48, At: 1}}},
+		"kill master":        {Kills: []CoreFailure{{Core: 0, At: 1}}},
+		"kill negative time": {Kills: []CoreFailure{{Core: 5, At: -1}}},
+		"stall master":       {Stalls: []CoreStall{{Core: 0, At: 1, Duration: 1}}},
+		"stall no duration":  {Stalls: []CoreStall{{Core: 5, At: 1}}},
+		"link src range":     {Links: []LinkFault{{Src: -7, Dst: 0, DropProb: 0.5}}},
+		"link bad prob":      {Links: []LinkFault{{Src: 1, Dst: 0, DropProb: 1.5}}},
+		"link bad delay":     {Links: []LinkFault{{Src: 1, Dst: 0, DelaySeconds: -1}}},
+	} {
+		if err := pl.Validate(48, 0); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// msg builds the minimal message the interposer inspects.
+func msg(src, dst int) *rcce.Message {
+	return &rcce.Message{Src: src, Dst: dst, Bytes: 100}
+}
+
+// deliverAll runs one process that pushes the sequence through the
+// injector and returns the outcomes.
+func deliverAll(in *Injector, msgs []*rcce.Message) []rcce.Outcome {
+	e := sim.NewEngine()
+	out := make([]rcce.Outcome, len(msgs))
+	e.Spawn("driver", func(p *sim.Process) {
+		for i, m := range msgs {
+			out[i] = in.Deliver(p, m)
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestDeliverEveryNAndWildcard(t *testing.T) {
+	pl := &Plan{Links: []LinkFault{{Src: Wildcard, Dst: 0, DropEvery: 3}}}
+	in := NewInjector(pl)
+	var msgs []*rcce.Message
+	for i := 0; i < 7; i++ {
+		msgs = append(msgs, msg(i+1, 0))
+	}
+	msgs = append(msgs, msg(1, 2)) // different dst: rule must not match
+	outs := deliverAll(in, msgs)
+	var drops []int
+	for i, o := range outs {
+		if o.Drop {
+			drops = append(drops, i)
+		}
+	}
+	if !reflect.DeepEqual(drops, []int{2, 5}) {
+		t.Errorf("dropped indices %v, want [2 5]", drops)
+	}
+	if in.Stats().Dropped != 2 {
+		t.Errorf("stats = %+v", in.Stats())
+	}
+}
+
+func TestDeliverProbDeterministic(t *testing.T) {
+	pl := &Plan{Seed: 42, Links: []LinkFault{{Src: Wildcard, Dst: Wildcard, DropProb: 0.3, CorruptProb: 0.3}}}
+	var msgs []*rcce.Message
+	for i := 0; i < 200; i++ {
+		msgs = append(msgs, msg(i%5, (i+1)%5))
+	}
+	a := deliverAll(NewInjector(pl), msgs)
+	b := deliverAll(NewInjector(pl), msgs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, same messages, different outcomes")
+	}
+	var drops, corrupts int
+	for _, o := range a {
+		if o.Drop {
+			drops++
+		}
+		if o.Corrupt {
+			corrupts++
+		}
+	}
+	if drops == 0 || drops == len(msgs) {
+		t.Errorf("drop count %d not in (0, %d)", drops, len(msgs))
+	}
+	if corrupts == 0 {
+		t.Error("no corruptions at p=0.3 over 200 messages")
+	}
+	// A different seed must give a different sequence.
+	pl2 := &Plan{Seed: 43, Links: pl.Links}
+	if reflect.DeepEqual(a, deliverAll(NewInjector(pl2), msgs)) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestDeliverDelayAndCombination(t *testing.T) {
+	pl := &Plan{Links: []LinkFault{
+		{Src: 1, Dst: 2, DelaySeconds: 0.5},
+		{Src: Wildcard, Dst: 2, DelaySeconds: 0.25},
+	}}
+	in := NewInjector(pl)
+	outs := deliverAll(in, []*rcce.Message{msg(1, 2), msg(3, 2), msg(1, 4)})
+	if outs[0].DelaySeconds != 0.75 {
+		t.Errorf("both rules should stack: %+v", outs[0])
+	}
+	if outs[1].DelaySeconds != 0.25 || outs[2].DelaySeconds != 0 {
+		t.Errorf("outs = %+v", outs)
+	}
+	if in.Stats().Delayed != 2 {
+		t.Errorf("stats = %+v", in.Stats())
+	}
+}
+
+func TestDeliverWindow(t *testing.T) {
+	pl := &Plan{Links: []LinkFault{{Src: 1, Dst: 2, From: 1, Until: 2, DropEvery: 1}}}
+	in := NewInjector(pl)
+	e := sim.NewEngine()
+	var outs []rcce.Outcome
+	e.Spawn("driver", func(p *sim.Process) {
+		outs = append(outs, in.Deliver(p, msg(1, 2))) // t=0: outside
+		p.Wait(1.5)
+		outs = append(outs, in.Deliver(p, msg(1, 2))) // t=1.5: inside
+		p.Wait(1)
+		outs = append(outs, in.Deliver(p, msg(1, 2))) // t=2.5: outside
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Drop || !outs[1].Drop || outs[2].Drop {
+		t.Errorf("windowed drops = %+v", outs)
+	}
+}
+
+func TestArmKillAndStall(t *testing.T) {
+	e := sim.NewEngine()
+	chip := scc.New(e, scc.DefaultConfig())
+	rec := trace.New()
+	var victimEnd, stalledEnd float64
+	chip.SpawnCore(1, func(p *sim.Process) {
+		p.Wait(10)
+		victimEnd = p.Now()
+	})
+	chip.SpawnCore(2, func(p *sim.Process) {
+		p.Wait(1)
+		p.Wait(1)
+		stalledEnd = p.Now()
+	})
+	pl := &Plan{
+		Kills:  []CoreFailure{{Core: 1, At: 3}},
+		Stalls: []CoreStall{{Core: 2, At: 0.5, Duration: 2}},
+	}
+	in := NewInjector(pl)
+	in.Arm(chip, rec)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if victimEnd != 0 {
+		t.Errorf("killed core completed its work at %v", victimEnd)
+	}
+	// Stall [0.5, 2.5): the t=1 wake defers to 2.5, second Wait(1) ends 3.5.
+	if stalledEnd != 3.5 {
+		t.Errorf("stalled core finished at %v, want 3.5", stalledEnd)
+	}
+	st := in.Stats()
+	if st.CoresKilled != 1 || st.CoresStalled != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := in.DeadCores(); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("dead cores = %v", got)
+	}
+	if ms := rec.Marks(chip.CoreName(1)); len(ms) != 1 || ms[0].Label != "kill" || ms[0].T != 3 {
+		t.Errorf("kill marks = %v", ms)
+	}
+	if ms := rec.Marks(chip.CoreName(2)); len(ms) != 1 || ms[0].Label != "stall" {
+		t.Errorf("stall marks = %v", ms)
+	}
+}
+
+func TestDeliverToDeadCoreDrops(t *testing.T) {
+	e := sim.NewEngine()
+	chip := scc.New(e, scc.DefaultConfig())
+	chip.SpawnCore(1, func(p *sim.Process) { p.Wait(100) })
+	pl := &Plan{Kills: []CoreFailure{{Core: 1, At: 1}}}
+	in := NewInjector(pl)
+	in.Arm(chip, nil)
+	var before, after rcce.Outcome
+	chip.SpawnCore(2, func(p *sim.Process) {
+		before = in.Deliver(p, msg(2, 1))
+		p.Wait(5)
+		after = in.Deliver(p, msg(2, 1))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if before.Drop {
+		t.Error("message to a still-alive core dropped")
+	}
+	if !after.Drop {
+		t.Error("message to a dead core delivered")
+	}
+}
+
+func TestDropSuppressesCorruptAndDelay(t *testing.T) {
+	pl := &Plan{Links: []LinkFault{
+		{Src: 1, Dst: 2, DropEvery: 1, CorruptEvery: 1, DelaySeconds: 0.5},
+	}}
+	in := NewInjector(pl)
+	outs := deliverAll(in, []*rcce.Message{msg(1, 2)})
+	if !outs[0].Drop || outs[0].Corrupt || outs[0].DelaySeconds != 0 {
+		t.Errorf("outcome = %+v, want pure drop", outs[0])
+	}
+	st := in.Stats()
+	if st.Dropped != 1 || st.Corrupted != 0 || st.Delayed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

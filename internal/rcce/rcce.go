@@ -5,6 +5,12 @@
 // per-core share of the tile MPBs and each chunk crosses the simulated
 // mesh, so transfer times depend on message size, hop distance and link
 // contention exactly as the hardware's would.
+//
+// For fault injection, an optional Interposer observes every message at
+// the wire and may drop, delay or corrupt it. The wire model carries a
+// per-chunk checksum (folded into the chunk protocol overhead), so a
+// corrupted message arrives with its Corrupt flag raised — detectable by
+// the receiver, exactly like a checksum mismatch on hardware.
 package rcce
 
 import (
@@ -20,22 +26,46 @@ type Message struct {
 	Src, Dst int
 	Bytes    int
 	Payload  any
+	// Corrupt marks a payload damaged on the wire; the receiver detects
+	// it via the chunk checksums (the payload itself is preserved in the
+	// simulation, only the flag is raised).
+	Corrupt bool
+	// done fires when the chunked transfer completes; the receiver joins
+	// it. A latch (not a rendezvous) so a sender never blocks on a
+	// receiver that died or stalled mid-transfer.
+	done *sim.Latch
+}
+
+// Outcome is an Interposer's verdict on one message.
+type Outcome struct {
+	// Drop discards the message on the wire: the sender still pays the
+	// staging and transfer cost, but no receiver ever sees it.
+	Drop bool
+	// DelaySeconds adds transfer latency (congestion, retransmits).
+	DelaySeconds float64
+	// Corrupt delivers the message with its checksum flag raised.
+	Corrupt bool
+}
+
+// Interposer observes every Send at the wire, before delivery. It runs
+// inside the sending process's context and must not block.
+type Interposer interface {
+	Deliver(p *sim.Process, m *Message) Outcome
 }
 
 // Comm provides RCCE-style communication on one chip.
 type Comm struct {
 	chip *scc.Chip
-	// pairs[src][dst]: req carries the message at rendezvous; done
-	// releases the receiver when the chunked transfer completes.
+	// pairs[src][dst]: req carries the message (with its completion
+	// latch) at rendezvous.
 	pairs map[[2]int]*pairChans
-	// flagCost is the time for the master's remote poll of a core's MPB
-	// ready flag (one mesh round trip of a flag-sized packet).
+	// inter, when non-nil, is consulted for every Send.
+	inter   Interposer
 	barrier *sim.Barrier
 }
 
 type pairChans struct {
-	req  *sim.Chan
-	done *sim.Chan
+	req *sim.Chan
 }
 
 // New builds a Comm for the chip.
@@ -46,38 +76,29 @@ func New(chip *scc.Chip) *Comm {
 // Chip returns the underlying chip.
 func (c *Comm) Chip() *scc.Chip { return c.chip }
 
+// SetInterposer installs the wire-fault interposer (nil = perfect wire).
+func (c *Comm) SetInterposer(i Interposer) { c.inter = i }
+
 func (c *Comm) pair(src, dst int) *pairChans {
 	k := [2]int{src, dst}
 	pc, ok := c.pairs[k]
 	if !ok {
-		pc = &pairChans{
-			req:  sim.NewChan(fmt.Sprintf("rcce.req.%d->%d", src, dst)),
-			done: sim.NewChan(fmt.Sprintf("rcce.done.%d->%d", src, dst)),
-		}
+		pc = &pairChans{req: sim.NewChan(fmt.Sprintf("rcce.req.%d->%d", src, dst))}
 		c.pairs[k] = pc
 	}
 	return pc
 }
 
 // chunkOverhead is the per-chunk protocol cost beyond raw transfer: MPB
-// flag write + test&set round trip, a few hundred core cycles.
+// flag write + test&set round trip plus the chunk checksum, a few
+// hundred core cycles.
 func (c *Comm) chunkOverhead() float64 {
 	return 600 / c.chip.Config().CPU.FreqHz
 }
 
-// Send transmits a message from core src (the calling process) to core
-// dst, blocking until the receiver has taken delivery (RCCE_send
-// semantics: synchronous, rendezvous).
-func (c *Comm) Send(p *sim.Process, src, dst, bytes int, payload any) {
-	if bytes < 1 {
-		bytes = 1
-	}
-	pc := c.pair(src, dst)
-	pc.req.Send(p, Message{Src: src, Dst: dst, Bytes: bytes, Payload: payload})
-	// Rendezvous reached: the receiver is parked on done. The sender
-	// stages the payload out of its DRAM (through its quadrant's iMC),
-	// then drives the chunked MPB transfer across the mesh.
-	c.chip.MemAccess(p, src, bytes)
+// transferChunks drives the chunked MPB transfer of bytes across the
+// mesh from within process p.
+func (c *Comm) transferChunks(p *sim.Process, src, dst, bytes int) {
 	chunk := c.chip.Config().MPBPerCore()
 	remaining := bytes
 	for remaining > 0 {
@@ -89,22 +110,100 @@ func (c *Comm) Send(p *sim.Process, src, dst, bytes int, payload any) {
 		p.Wait(c.chunkOverhead())
 		remaining -= n
 	}
-	pc.done.Send(p, struct{}{})
+}
+
+// Send transmits a message from core src (the calling process) to core
+// dst, blocking until the receiver has taken delivery (RCCE_send
+// semantics: synchronous, rendezvous). Under an interposer, a dropped
+// message costs the sender the full staging and transfer time but never
+// reaches a receiver, and the sender does not wait for one.
+func (c *Comm) Send(p *sim.Process, src, dst, bytes int, payload any) {
+	if bytes < 1 {
+		bytes = 1
+	}
+	m := Message{Src: src, Dst: dst, Bytes: bytes, Payload: payload, done: sim.NewLatch("rcce.done")}
+	var out Outcome
+	if c.inter != nil {
+		out = c.inter.Deliver(p, &m)
+	}
+	if out.Drop {
+		// The bits leave the sender and cross the mesh, then vanish
+		// (dead destination, or discarded by a faulty link).
+		c.chip.MemAccess(p, src, bytes)
+		c.transferChunks(p, src, dst, bytes)
+		return
+	}
+	m.Corrupt = m.Corrupt || out.Corrupt
+	p.SetBlockDetail(fmt.Sprintf("rcce send %d->%d (%d bytes)", src, dst, bytes))
+	c.pair(src, dst).req.Send(p, m)
+	// Rendezvous reached: the receiver is joined on the message's done
+	// latch. The sender stages the payload out of its DRAM (through its
+	// quadrant's iMC), then drives the chunked MPB transfer.
+	c.chip.MemAccess(p, src, bytes)
+	if out.DelaySeconds > 0 {
+		p.Wait(out.DelaySeconds)
+	}
+	c.transferChunks(p, src, dst, bytes)
+	m.done.Set()
+	p.SetBlockDetail("")
 }
 
 // Recv blocks the calling process (core dst) until a message from src
-// arrives and its transfer completes, then returns it.
+// arrives and its transfer completes, then returns it. Check
+// Message.Corrupt before trusting the payload when faults are modelled.
 func (c *Comm) Recv(p *sim.Process, src, dst int) Message {
+	p.SetBlockDetail(fmt.Sprintf("rcce recv %d<-%d", dst, src))
 	pc := c.pair(src, dst)
 	m := pc.req.Recv(p).(Message)
-	pc.done.Recv(p)
+	m.done.Wait(p)
+	p.SetBlockDetail("")
 	return m
+}
+
+// RecvTimeout is Recv with a deadline over the whole operation (waiting
+// for the sender plus the transfer). It returns ok=false when the
+// deadline passes first — the sender may still be mid-transfer; its
+// completion latch fires into the void.
+func (c *Comm) RecvTimeout(p *sim.Process, src, dst int, d float64) (Message, bool) {
+	p.SetBlockDetail(fmt.Sprintf("rcce recv %d<-%d (timeout %.3gs)", dst, src, d))
+	defer p.SetBlockDetail("")
+	pc := c.pair(src, dst)
+	start := p.Now()
+	v, ok := pc.req.RecvTimeout(p, d)
+	if !ok {
+		return Message{}, false
+	}
+	m := v.(Message)
+	remaining := d - (p.Now() - start)
+	if remaining < 0 {
+		remaining = 0
+	}
+	if !m.done.WaitTimeout(p, remaining) {
+		return Message{}, false
+	}
+	return m, true
+}
+
+// RecvOrLatch is Recv aborted by a latch: it returns ok=false once l
+// fires with no message rendezvous yet. The slave loops of fault-
+// tolerant farms use it to observe the master's broadcast stop flag.
+func (c *Comm) RecvOrLatch(p *sim.Process, src, dst int, l *sim.Latch) (Message, bool) {
+	p.SetBlockDetail(fmt.Sprintf("rcce recv %d<-%d (or stop)", dst, src))
+	defer p.SetBlockDetail("")
+	pc := c.pair(src, dst)
+	v, ok := pc.req.RecvOrLatch(p, l)
+	if !ok {
+		return Message{}, false
+	}
+	m := v.(Message)
+	m.done.Wait(p)
+	return m, true
 }
 
 // Probe reports whether a sender on (src, dst) is already blocked in
 // Send — the simulation analogue of testing the sender's MPB ready flag.
 // It consumes no simulated time; callers model the flag-read cost with
-// PollCost.
+// PollCost. Senders that died mid-handshake are not reported.
 func (c *Comm) Probe(src, dst int) bool {
 	return c.pair(src, dst).req.Pending() > 0
 }

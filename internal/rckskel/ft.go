@@ -1,0 +1,421 @@
+// Fault-tolerant FARM: the master-slaves construct extended with
+// per-job deadlines, retry with reassignment, blacklisting of
+// repeatedly failing slaves, and duplicate-result discard, so an
+// all-vs-all comparison completes (possibly degraded) even when cores
+// fail-stop, stall, or links misbehave mid-run.
+//
+// Detection model: the master is assumed reliable (as in the paper's
+// farm) and observes failures only through time — a dispatched job
+// whose result has not been collected by its deadline is presumed
+// lost, whatever the cause (dead core, stalled core, dropped job or
+// result message). Corrupted messages are detected by the wire
+// checksums (rcce.Message.Corrupt) and treated as losses that cost
+// only a retry, not the slave's reputation. Sends to fail-stopped
+// cores rely on the fault injector's wire model (the dead core's MPB
+// never acknowledges, the message vanishes, the sender moves on);
+// without an interposer a send to a dead core would hang, exactly as
+// busy-waiting on a dead core's flags would on hardware.
+package rckskel
+
+import (
+	"math"
+
+	"rckalign/internal/sim"
+)
+
+// FTConfig tunes the fault-tolerant FARM. The zero value disables
+// detection (no deadlines): jobs are never presumed lost, matching the
+// classic FARM on a fault-free run.
+type FTConfig struct {
+	// JobDeadlineSeconds is how long the master waits after handing a
+	// job to a slave before presuming it lost and re-dispatching.
+	// 0 = no deadline (no fail-stop recovery).
+	JobDeadlineSeconds float64
+	// ResultTimeoutSeconds bounds the result transfer after a slave
+	// rings (covers cores dying mid-transfer). 0 = JobDeadlineSeconds.
+	ResultTimeoutSeconds float64
+	// MaxFailures blacklists a slave after this many consecutive
+	// failures (default 3). Blacklisted slaves get no further jobs, but
+	// a late result from one is still accepted.
+	MaxFailures int
+	// MaxAttempts gives up on a job after this many dispatches
+	// (counted as lost). 0 = retry for as long as healthy slaves remain.
+	MaxAttempts int
+}
+
+// FTStats reports what the fault-tolerance machinery did during one
+// FARMFT execution.
+type FTStats struct {
+	// Timeouts counts deadline expiries and result-transfer timeouts.
+	Timeouts int
+	// CorruptDetected counts results discarded for checksum mismatch.
+	CorruptDetected int
+	// Retries counts re-dispatches of jobs that had already been handed
+	// to some slave once.
+	Retries int
+	// Reassigned counts retries that moved the job to a different slave.
+	Reassigned int
+	// DuplicatesDropped counts late results for jobs a retry had
+	// already completed.
+	DuplicatesDropped int
+	// LostJobs counts jobs never completed (degraded termination or
+	// MaxAttempts exhausted, minus late redemptions).
+	LostJobs int
+	// Blacklisted lists slaves taken out of rotation, in order.
+	Blacklisted []int
+}
+
+// StartSlavesFT spawns the fault-tolerant slave loop on every slave
+// core with one shared handler.
+func (t *Team) StartSlavesFT(h Handler) {
+	t.StartSlavesFTWith(func(int) Handler { return h })
+}
+
+// StartSlavesFTWith spawns the fault-tolerant slave loops with a
+// per-core handler.
+func (t *Team) StartSlavesFTWith(h func(core int) Handler) {
+	for _, core := range t.Slaves {
+		core := core
+		t.Comm.Chip().SpawnCore(core, func(p *sim.Process) {
+			t.slaveLoopFT(p, core, h(core))
+		})
+	}
+}
+
+// slaveLoopFT is slaveLoop plus fault handling: job receives abort on
+// the team's stop latch, corrupted job requests are discarded (the
+// master's deadline re-sends them), and results are not sent once the
+// stop latch is up (the master no longer collects). Shutdown still ends
+// with the classic terminate sentinel, so a fault-free run's
+// termination handshake costs exactly what the classic path's does.
+func (t *Team) slaveLoopFT(p *sim.Process, core int, h Handler) {
+	for {
+		m, ok := t.Comm.RecvOrLatch(p, t.Master, core, t.stop)
+		if !ok {
+			// Stop raised while idle: the terminating master will send
+			// the shutdown sentinel next. Bound the wait — a faulty link
+			// may drop the sentinel, and that must not park this core
+			// forever.
+			timeout := t.ftResultTimeout
+			if timeout <= 0 {
+				timeout = math.Inf(1)
+			}
+			if m, ok = t.Comm.RecvTimeout(p, t.Master, core, timeout); !ok {
+				return
+			}
+		}
+		if _, done := m.Payload.(terminate); done {
+			return
+		}
+		if m.Corrupt {
+			// Checksum mismatch on the job request: discard it. The
+			// master's deadline machinery will re-send.
+			continue
+		}
+		job := m.Payload.(Job)
+		payload, ops, resultBytes := h(job)
+		computeStart := p.Now()
+		t.Comm.Chip().Compute(p, ops)
+		if t.Trace != nil {
+			t.Trace.Add(t.Comm.Chip().CoreName(core), computeStart, p.Now(), "compute")
+		}
+		if resultBytes < 1 {
+			resultBytes = 1
+		}
+		if t.stop.IsSet() {
+			// The master stopped collecting while this job computed:
+			// discard the result and loop around for the sentinel.
+			continue
+		}
+		t.ring.Put(core)
+		t.Comm.Send(p, core, t.Master, resultBytes, Result{
+			JobID: job.ID, Slave: core, Payload: payload, Bytes: resultBytes,
+		})
+	}
+}
+
+// TerminateFT shuts down fault-tolerant slave loops: raise the stop
+// latch, then per slave drain any result send already in flight (so no
+// straggler is left blocked mid-handshake) and deliver the classic
+// shutdown sentinel. Slaves whose process has already finished —
+// fail-stopped cores, or loops that gave up waiting for a sentinel
+// while the master was stuck handshaking a straggler — get no
+// sentinel: there is nobody left to receive it, and without an
+// interposer to drop it the send would block the master forever. On a
+// fault-free run no slave ever exits early, so the handshake is
+// send-for-send identical to the classic Terminate. Call from the
+// master after FARMFT completes.
+func (t *Team) TerminateFT(p *sim.Process) {
+	t.stop.Set()
+	timeout := t.ftResultTimeout
+	if timeout <= 0 {
+		timeout = math.Inf(1)
+	}
+	for _, core := range t.Slaves {
+		for t.Comm.Probe(core, t.Master) {
+			if _, ok := t.Comm.RecvTimeout(p, core, t.Master, timeout); !ok {
+				break
+			}
+		}
+		if sp := t.Comm.Chip().Proc(core); sp == nil || sp.Done() {
+			continue
+		}
+		t.Comm.Send(p, t.Master, core, 1, terminate{})
+	}
+	t.ring.Drain()
+}
+
+// flight tracks one dispatched, uncollected job.
+type flight struct {
+	job      int // index into the jobs slice
+	deadline float64
+}
+
+// FARMFT is FARM with fault tolerance: jobs carry deadlines, presumed-
+// lost jobs are re-dispatched (to another slave when one is free),
+// slaves that keep failing are blacklisted, duplicate and corrupt
+// results are discarded, and the farm terminates — degraded, with jobs
+// marked lost — even when every slave has died. On a fault-free run
+// with generous deadlines it is job-for-job and second-for-second
+// identical to FARM. Call from the master process; slaves must be
+// running slaveLoopFT (StartSlavesFT).
+func (t *Team) FARMFT(p *sim.Process, jobs []Job, cfg FTConfig, collect func(Result)) (Stats, FTStats) {
+	st := Stats{JobsPerSlave: map[int]int{}}
+	var ft FTStats
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = 3
+	}
+	resultTimeout := cfg.ResultTimeoutSeconds
+	if resultTimeout <= 0 {
+		resultTimeout = cfg.JobDeadlineSeconds
+	}
+	if resultTimeout <= 0 {
+		resultTimeout = math.Inf(1)
+	}
+	t.ftResultTimeout = resultTimeout
+	start := p.Now()
+
+	jobIdx := make(map[int]int, len(jobs)) // Job.ID -> index
+	for i, j := range jobs {
+		jobIdx[j.ID] = i
+	}
+	pending := make([]int, 0, len(jobs))
+	for i := range jobs {
+		pending = append(pending, i)
+	}
+	inflight := map[int]*flight{} // slave -> its uncollected job
+	idle := map[int]bool{}        // slave is free and trusted
+	suspect := map[int]bool{}     // deadline expired; no new work until it rings
+	blacklisted := map[int]bool{}
+	consecFails := map[int]int{}
+	attempts := make([]int, len(jobs))
+	lastSlave := make([]int, len(jobs))
+	for i := range lastSlave {
+		lastSlave[i] = -1
+	}
+	done := make([]bool, len(jobs))
+	lost := map[int]bool{}
+	completed := 0
+	for _, s := range t.Slaves {
+		idle[s] = true
+	}
+
+	fail := func(s int) {
+		ft.Timeouts++
+		consecFails[s]++
+		if consecFails[s] >= cfg.MaxFailures && !blacklisted[s] {
+			blacklisted[s] = true
+			ft.Blacklisted = append(ft.Blacklisted, s)
+		}
+		suspect[s] = true
+		idle[s] = false
+	}
+	requeue := func(job int) {
+		if !done[job] && !lost[job] {
+			pending = append(pending, job)
+		}
+	}
+
+	// dispatch hands pending jobs to free, trusted slaves in slave-ring
+	// order — with every slave idle this primes them with jobs 0..n-1
+	// exactly as FARM does.
+	dispatch := func() {
+		for _, s := range t.Slaves {
+			if !idle[s] || blacklisted[s] || suspect[s] {
+				continue
+			}
+			for len(pending) > 0 {
+				ji := pending[0]
+				pending = pending[1:]
+				if done[ji] || lost[ji] {
+					continue
+				}
+				if cfg.MaxAttempts > 0 && attempts[ji] >= cfg.MaxAttempts {
+					lost[ji] = true
+					ft.LostJobs++
+					continue
+				}
+				attempts[ji]++
+				if lastSlave[ji] >= 0 {
+					ft.Retries++
+					if lastSlave[ji] != s {
+						ft.Reassigned++
+					}
+				}
+				lastSlave[ji] = s
+				idle[s] = false
+				t.Comm.Send(p, t.Master, s, jobs[ji].Bytes, jobs[ji])
+				deadline := math.Inf(1)
+				if cfg.JobDeadlineSeconds > 0 {
+					deadline = p.Now() + cfg.JobDeadlineSeconds
+				}
+				inflight[s] = &flight{job: ji, deadline: deadline}
+				break
+			}
+		}
+	}
+
+	// handleRing collects from a slave that raised its ready flag,
+	// charging the same discovery cost as the classic farm's polling.
+	handleRing := func(s int) {
+		collectStart := p.Now()
+		p.Wait(t.DiscoveryCostScale * t.discoveryCost(s))
+		st.PollProbes += len(t.Slaves)/2 + 1
+		m, ok := t.Comm.RecvTimeout(p, s, t.Master, resultTimeout)
+		if t.Trace != nil {
+			t.Trace.Add(t.Comm.Chip().CoreName(t.Master), collectStart, p.Now(), "collect")
+		}
+		f := inflight[s]
+		delete(inflight, s)
+		suspect[s] = false
+		if !ok {
+			// The slave rang but its result never completed (died or
+			// stalled mid-transfer).
+			fail(s)
+			if f != nil {
+				requeue(f.job)
+			}
+			return
+		}
+		if m.Corrupt {
+			// The slave did the work; the wire mangled the result. Retry
+			// without penalising the slave.
+			ft.CorruptDetected++
+			consecFails[s] = 0
+			idle[s] = true
+			if f != nil {
+				requeue(f.job)
+			}
+			return
+		}
+		res := m.Payload.(Result)
+		consecFails[s] = 0
+		idle[s] = true
+		ji, known := jobIdx[res.JobID]
+		if !known {
+			return
+		}
+		if done[ji] {
+			ft.DuplicatesDropped++
+			return
+		}
+		done[ji] = true
+		if lost[ji] {
+			// A job written off as lost came back after all.
+			delete(lost, ji)
+			ft.LostJobs--
+		}
+		completed++
+		st.JobsPerSlave[res.Slave]++
+		if collect != nil {
+			collect(res)
+		}
+	}
+
+	// expireDeadlines presumes lost every inflight job past its
+	// deadline, in slave-ring order for determinism.
+	expireDeadlines := func() {
+		now := p.Now()
+		for _, s := range t.Slaves {
+			f := inflight[s]
+			if f == nil || f.deadline > now {
+				continue
+			}
+			delete(inflight, s)
+			fail(s)
+			requeue(f.job)
+		}
+	}
+
+	for completed+len(lost) < len(jobs) {
+		dispatch()
+		if completed+len(lost) >= len(jobs) {
+			break
+		}
+		nearest := math.Inf(1)
+		for _, s := range t.Slaves {
+			if f := inflight[s]; f != nil && f.deadline < nearest {
+				nearest = f.deadline
+			}
+		}
+		if len(inflight) == 0 {
+			anySuspect := false
+			for _, s := range t.Slaves {
+				if suspect[s] {
+					anySuspect = true
+					break
+				}
+			}
+			grace := cfg.JobDeadlineSeconds
+			if !anySuspect || grace <= 0 {
+				// Nothing running and nobody left who could ring (or no
+				// way to bound the wait): give up on what remains.
+				if anySuspect && grace <= 0 {
+					grace = math.Inf(1) // no deadlines configured: wait
+				} else {
+					for _, ji := range pending {
+						if !done[ji] && !lost[ji] {
+							lost[ji] = true
+							ft.LostJobs++
+						}
+					}
+					pending = nil
+					continue
+				}
+			}
+			// Grace period: a suspect slave may still ring and redeem
+			// its job.
+			v, ok := t.ring.GetTimeout(p, grace)
+			if !ok {
+				for _, ji := range pending {
+					if !done[ji] && !lost[ji] {
+						lost[ji] = true
+						ft.LostJobs++
+					}
+				}
+				pending = nil
+				continue
+			}
+			handleRing(v.(int))
+			continue
+		}
+		d := nearest - p.Now()
+		if math.IsInf(nearest, 1) {
+			if v, ok := t.ring.GetTimeout(p, math.Inf(1)); ok {
+				handleRing(v.(int))
+			}
+			continue
+		}
+		if d <= 0 {
+			expireDeadlines()
+			continue
+		}
+		if v, ok := t.ring.GetTimeout(p, d); ok {
+			handleRing(v.(int))
+		} else {
+			expireDeadlines()
+		}
+	}
+	st.MakespanSeconds = p.Now() - start
+	return st, ft
+}

@@ -74,6 +74,16 @@ type Team struct {
 
 	// doorbell carries "result ready" flags from slaves to the master.
 	doorbell *sim.Chan
+
+	// stop broadcasts shutdown to fault-tolerant slave loops (ft.go).
+	stop *sim.Latch
+	// ring is the fault-tolerant doorbell: an async queue, so a slave's
+	// ready flag survives even when the master is busy or the slave dies
+	// right after raising it.
+	ring *sim.Queue
+	// ftResultTimeout is the resolved result-transfer timeout of the
+	// last FARMFT, reused by TerminateFT's drain.
+	ftResultTimeout float64
 }
 
 // NewTeam builds a team with the master on masterCore and the given
@@ -90,6 +100,8 @@ func NewTeam(comm *rcce.Comm, masterCore int, slaves []int) *Team {
 		Slaves:             append([]int(nil), slaves...),
 		DiscoveryCostScale: 1,
 		doorbell:           sim.NewChan("rckskel.ready"),
+		stop:               sim.NewLatch("rckskel.stop"),
+		ring:               sim.NewQueue("rckskel.ring"),
 	}
 }
 

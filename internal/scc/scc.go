@@ -73,6 +73,7 @@ type Chip struct {
 	engine *sim.Engine
 	mesh   *noc.Mesh
 	mcRes  []*sim.Resource // lazily built iMC service queues
+	procs  map[int]*sim.Process
 }
 
 // New builds a chip on the given engine.
@@ -85,7 +86,7 @@ func New(e *sim.Engine, cfg Config) *Chip {
 		cfg.Mesh.Width = cfg.TilesX
 		cfg.Mesh.Height = cfg.TilesY
 	}
-	return &Chip{cfg: cfg, engine: e, mesh: noc.New(cfg.Mesh)}
+	return &Chip{cfg: cfg, engine: e, mesh: noc.New(cfg.Mesh), procs: map[int]*sim.Process{}}
 }
 
 // Config returns the chip configuration.
@@ -138,7 +139,18 @@ func (c *Chip) Compute(p *sim.Process, ops costmodel.Counter) {
 
 // SpawnCore starts a simulated-core process named after the core id.
 func (c *Chip) SpawnCore(core int, body func(p *sim.Process)) *sim.Process {
-	return c.engine.Spawn(c.CoreName(core), body)
+	c.checkCore(core)
+	p := c.engine.Spawn(c.CoreName(core), body)
+	c.procs[core] = p
+	return p
+}
+
+// Proc returns the process most recently spawned for a core (nil if the
+// core was never spawned). Fault injectors use it to target kills and
+// stalls at core granularity.
+func (c *Chip) Proc(core int) *sim.Process {
+	c.checkCore(core)
+	return c.procs[core]
 }
 
 // Transfer moves bytes between two cores over the mesh from within

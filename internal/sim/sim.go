@@ -7,6 +7,12 @@
 // Exactly one goroutine (the engine's or one process's) runs at any
 // moment, and events at equal times fire in schedule order, so runs are
 // fully deterministic.
+//
+// Fault-injection support: a process can be fail-stopped (Engine.Kill)
+// or transiently stalled (Engine.StallUntil) from a scheduled callback.
+// A killed process unwinds out of whatever it is blocked on and leaves
+// the live set, so it neither resumes nor counts as deadlocked; the
+// synchronization primitives in sync.go lazily skip dead waiters.
 package sim
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
 
 // event is a scheduled wake-up of a process or a callback.
@@ -72,6 +79,10 @@ func (e *Engine) scheduleProc(t float64, p *Process) {
 	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
 }
 
+// killSentinel is the panic value that unwinds a killed process's
+// goroutine; the Spawn wrapper recovers it.
+type killSentinel struct{}
+
 // Process is a simulated thread of control. Its methods must only be
 // called from within its own body function.
 type Process struct {
@@ -79,9 +90,19 @@ type Process struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	// killed marks a fail-stopped process; its next wake-up unwinds the
+	// goroutine instead of resuming the body.
+	killed bool
+	// stallUntil defers any wake-up scheduled to fire before it (a
+	// transient core stall).
+	stallUntil float64
 	// blocked marks a process parked on a channel/resource (not in the
 	// event queue), for deadlock diagnostics.
 	blocked string
+	// blockDetail is optional caller-supplied context for the current
+	// blocking operation (e.g. an rcce transfer's src->dst and byte
+	// count), surfaced by DeadlockError.
+	blockDetail string
 }
 
 // Name returns the process name.
@@ -93,6 +114,21 @@ func (p *Process) Engine() *Engine { return p.e }
 // Now returns the current simulated time.
 func (p *Process) Now() float64 { return p.e.now }
 
+// Killed reports whether the process has been fail-stopped.
+func (p *Process) Killed() bool { return p.killed }
+
+// Done reports whether the process has finished (returned or killed).
+func (p *Process) Done() bool { return p.done }
+
+// SetBlockDetail attaches human-readable context to the process's next
+// blocking operations; it appears in DeadlockError reports. Pass ""
+// to clear. Callers should clear it once the guarded operation returns.
+func (p *Process) SetBlockDetail(detail string) { p.blockDetail = detail }
+
+// dead reports that a process should no longer be matched by
+// synchronization primitives (it finished or a kill is in flight).
+func (p *Process) dead() bool { return p.done || p.killed }
+
 // Spawn creates a process that starts executing body at the current
 // simulated time (once Run is in control).
 func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
@@ -100,7 +136,16 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 	e.live[p] = true
 	go func() {
 		<-p.resume
-		body(p)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killSentinel); !ok {
+						panic(r)
+					}
+				}
+			}()
+			body(p)
+		}()
 		p.done = true
 		delete(e.live, p)
 		e.runner = nil
@@ -110,11 +155,48 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 	return p
 }
 
+// Kill fail-stops p: its next wake-up unwinds the process instead of
+// resuming it, and it leaves the live set (so it cannot deadlock the
+// run). Call from a scheduled callback or another process; killing an
+// already-finished process is a no-op. The dead process's entries in
+// channels, latches and resources are skipped lazily.
+func (e *Engine) Kill(p *Process) {
+	if p == nil || p.done || p.killed {
+		return
+	}
+	p.killed = true
+	// Wake it (possibly redundantly) so the goroutine unwinds promptly.
+	e.scheduleProc(e.now, p)
+}
+
+// StallUntil freezes p's wake-ups until absolute time t: any resume that
+// would fire earlier is deferred to t (a transient core stall). Extends,
+// never shortens, an existing stall.
+func (e *Engine) StallUntil(p *Process, t float64) {
+	if p == nil || p.dead() {
+		return
+	}
+	if t > p.stallUntil {
+		p.stallUntil = t
+	}
+}
+
 // yield transfers control back to the engine and parks until resumed.
+// Wake-ups inside a stall window are re-deferred to the stall end; a
+// pending kill unwinds the goroutine via the sentinel panic.
 func (p *Process) yield() {
 	p.e.runner = nil
 	p.e.park <- struct{}{}
 	<-p.resume
+	for !p.killed && p.stallUntil > p.e.now {
+		p.e.scheduleProc(p.stallUntil, p)
+		p.e.runner = nil
+		p.e.park <- struct{}{}
+		<-p.resume
+	}
+	if p.killed {
+		panic(killSentinel{})
+	}
 	p.e.runner = p
 }
 
@@ -141,15 +223,39 @@ func (p *Process) unblock() {
 	p.e.scheduleProc(p.e.now, p)
 }
 
+// BlockedProcess describes one process stuck at deadlock detection time.
+type BlockedProcess struct {
+	// Name is the process name (e.g. "rck03").
+	Name string
+	// Reason is the primitive it is parked on (e.g. "recv:rcce.req.0->3").
+	Reason string
+	// Detail is optional operation context supplied via SetBlockDetail
+	// (e.g. "rcce send 0->3 (1234 bytes)").
+	Detail string
+}
+
+func (b BlockedProcess) String() string {
+	if b.Detail != "" {
+		return fmt.Sprintf("%s blocked on %s [%s]", b.Name, b.Reason, b.Detail)
+	}
+	return fmt.Sprintf("%s blocked on %s", b.Name, b.Reason)
+}
+
 // DeadlockError reports processes still blocked when the event queue
-// drained.
+// drained, with each process's block reason and any operation detail.
 type DeadlockError struct {
 	Time    float64
-	Blocked []string
+	Blocked []BlockedProcess
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%.6f: %d process(es) blocked: %v", e.Time, len(e.Blocked), e.Blocked)
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at t=%.6f: %d process(es) blocked:", e.Time, len(e.Blocked))
+	for _, bp := range e.Blocked {
+		b.WriteString("\n  ")
+		b.WriteString(bp.String())
+	}
+	return b.String()
 }
 
 // Run executes events until the queue drains. It returns a DeadlockError
@@ -170,12 +276,17 @@ func (e *Engine) Run() error {
 		}
 	}
 	if len(e.live) > 0 {
-		var names []string
+		var blocked []BlockedProcess
 		for p := range e.live {
-			names = append(names, fmt.Sprintf("%s(%s)", p.name, p.blocked))
+			blocked = append(blocked, BlockedProcess{Name: p.name, Reason: p.blocked, Detail: p.blockDetail})
 		}
-		sort.Strings(names)
-		return &DeadlockError{Time: e.now, Blocked: names}
+		sort.Slice(blocked, func(i, j int) bool {
+			if blocked[i].Name != blocked[j].Name {
+				return blocked[i].Name < blocked[j].Name
+			}
+			return blocked[i].Reason < blocked[j].Reason
+		})
+		return &DeadlockError{Time: e.now, Blocked: blocked}
 	}
 	return nil
 }

@@ -17,16 +17,31 @@ type Interval struct {
 	Label      string
 }
 
+// Mark is an instantaneous event on a track (a fault injection, a
+// checkpoint), rendered as 'X' in the Gantt chart.
+type Mark struct {
+	T     float64
+	Label string
+}
+
 // Recorder accumulates intervals by track (typically one track per
 // core). The zero value is not ready; use New.
 type Recorder struct {
 	tracks map[string][]Interval
+	marks  map[string][]Mark
 	order  []string
 }
 
 // New returns an empty recorder.
 func New() *Recorder {
-	return &Recorder{tracks: map[string][]Interval{}}
+	return &Recorder{tracks: map[string][]Interval{}, marks: map[string][]Mark{}}
+}
+
+func (r *Recorder) ensureTrack(track string) {
+	if _, ok := r.tracks[track]; !ok {
+		r.tracks[track] = nil
+		r.order = append(r.order, track)
+	}
 }
 
 // Add appends an interval to a track. Intervals with End <= Start are
@@ -35,10 +50,16 @@ func (r *Recorder) Add(track string, start, end float64, label string) {
 	if end <= start {
 		return
 	}
-	if _, ok := r.tracks[track]; !ok {
-		r.order = append(r.order, track)
-	}
+	r.ensureTrack(track)
 	r.tracks[track] = append(r.tracks[track], Interval{Start: start, End: end, Label: label})
+}
+
+// AddMark records an instantaneous event on a track (e.g. "kill",
+// "drop"); fault injections use it so failures show up visually in
+// Gantt output.
+func (r *Recorder) AddMark(track string, t float64, label string) {
+	r.ensureTrack(track)
+	r.marks[track] = append(r.marks[track], Mark{T: t, Label: label})
 }
 
 // Tracks returns the track names in first-seen order.
@@ -49,8 +70,13 @@ func (r *Recorder) Intervals(track string) []Interval {
 	return append([]Interval(nil), r.tracks[track]...)
 }
 
-// Span returns the [min start, max end] across all tracks (0,0 when
-// empty).
+// Marks returns a track's recorded point events.
+func (r *Recorder) Marks(track string) []Mark {
+	return append([]Mark(nil), r.marks[track]...)
+}
+
+// Span returns the [min start, max end] across all tracks' intervals
+// and marks (0,0 when empty).
 func (r *Recorder) Span() (float64, float64) {
 	first := true
 	var lo, hi float64
@@ -61,6 +87,17 @@ func (r *Recorder) Span() (float64, float64) {
 			}
 			if first || iv.End > hi {
 				hi = iv.End
+			}
+			first = false
+		}
+	}
+	for _, ms := range r.marks {
+		for _, m := range ms {
+			if first || m.T < lo {
+				lo = m.T
+			}
+			if first || m.T > hi {
+				hi = m.T
 			}
 			first = false
 		}
@@ -136,8 +173,9 @@ func (r *Recorder) UtilizationTable(width int) string {
 }
 
 // Gantt renders an ASCII chart: one row per track, '#' where the track
-// is busy, '.' where idle, over the recorder's span quantised to the
-// given width.
+// is busy, '.' where idle, 'X' at fault/event marks, over the
+// recorder's span quantised to the given width. Marks overwrite busy
+// cells so injected failures stay visible.
 func (r *Recorder) Gantt(width int) string {
 	if width < 10 {
 		width = 10
@@ -165,6 +203,16 @@ func (r *Recorder) Gantt(width int) string {
 			for i := lo; i < hi; i++ {
 				row[i] = '#'
 			}
+		}
+		for _, m := range r.marks[track] {
+			i := int((m.T - t0) / dt)
+			if i < 0 {
+				i = 0
+			}
+			if i >= width {
+				i = width - 1
+			}
+			row[i] = 'X'
 		}
 		fmt.Fprintf(&b, "%-10s %s\n", track, row)
 	}

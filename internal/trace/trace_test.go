@@ -83,3 +83,36 @@ func TestGantt(t *testing.T) {
 		t.Error("empty gantt")
 	}
 }
+
+func TestMarks(t *testing.T) {
+	r := New()
+	r.AddMark("c", 3, "kill")
+	r.AddMark("c", 7, "drop")
+	ms := r.Marks("c")
+	if len(ms) != 2 || ms[0].Label != "kill" || ms[1].T != 7 {
+		t.Errorf("marks = %v", ms)
+	}
+	if len(r.Marks("missing")) != 0 {
+		t.Error("missing track has marks")
+	}
+	// A mark-only recorder still has a span and creates the track.
+	lo, hi := r.Span()
+	if lo != 3 || hi != 7 {
+		t.Errorf("span = [%v, %v], want [3, 7]", lo, hi)
+	}
+	if tracks := r.Tracks(); len(tracks) != 1 || tracks[0] != "c" {
+		t.Errorf("tracks = %v", tracks)
+	}
+}
+
+func TestGanttRendersMarks(t *testing.T) {
+	r := New()
+	r.Add("a", 0, 10, "compute")
+	r.AddMark("a", 5, "kill")
+	r.AddMark("a", 10, "late") // clamps to the last cell
+	out := r.Gantt(10)
+	line := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(line, "#####X###X") {
+		t.Errorf("gantt row with marks: %q", line)
+	}
+}
