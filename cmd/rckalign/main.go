@@ -8,6 +8,14 @@
 //
 //	rckalign [-dataset CK34|RS119] [-slaves N | -sweep] [-order FIFO|LPT|Random]
 //	         [-hierarchy H] [-cache DIR] [-fast] [-csv] [-faults SPEC]
+//	         [-metrics-out FILE] [-trace-out FILE] [-heatmap]
+//
+// -metrics-out dumps the run's metrics registry (counters, histograms,
+// time series from every simulation layer) as deterministic JSON;
+// -trace-out writes a Chrome trace-event file loadable in Perfetto
+// (ui.perfetto.dev) with one thread track per core and counter tracks
+// for the master's mailbox depth and mesh link occupancy. On a sweep,
+// both describe the last run.
 //
 // -faults takes a fault-injection spec (see internal/fault.ParseSpec),
 // e.g. "seed=1;kill=12@40;kill=30@90;drop=*>0@p0.01", and switches the
@@ -17,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,6 +34,7 @@ import (
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
 	"rckalign/internal/fault"
+	"rckalign/internal/metrics"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
 	"rckalign/internal/synth"
@@ -46,6 +56,10 @@ func main() {
 	memBudget := flag.Int("membudget", 0, "master memory budget in residues (0 = unlimited; >0 = out-of-core tiled run)")
 	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. \"seed=1;kill=12@40;drop=*>0@p0.01\" (empty = no faults)")
 	deadline := flag.Float64("deadline", 0, "fault-tolerant per-job deadline in seconds (0 = derive from workload)")
+	polling := flag.Float64("polling", 1, "scale the master's per-collection polling discovery cost (0 = ideal event-driven, 1 = the paper's busy polling; large values emulate fine-grained jobs saturating the master)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot of the (last) run as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the (last) run to this file")
+	heatmap := flag.Bool("heatmap", false, "print the mesh link heatmap of the (last) run")
 	flag.Parse()
 
 	ds, err := synth.ByName(*dataset)
@@ -68,6 +82,7 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Hierarchy = *hierarchy
+	cfg.PollingScale = *polling
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec)
 		if err != nil {
@@ -97,14 +112,20 @@ func main() {
 
 	tb := stats.NewTable(
 		fmt.Sprintf("rckAlign all-vs-all on %s (serial P54C baseline: %.0f s)", ds.Name, baseline),
-		"Slave Cores", "Time (s)", "Speedup", "Efficiency")
+		"Slave Cores", "Time (s)", "Speedup", "Efficiency", "Peak Mbox", "Worst Link Util")
 	cfg.ThreadsPerWorker = *threads
 	var rec *trace.Recorder
+	var reg *metrics.Registry
+	var lastRep farm.Report
 	for _, n := range counts {
-		if *util {
+		if *util || *traceOut != "" {
 			rec = trace.New()
 		}
 		cfg.Trace = rec
+		// Metrics are always on in the CLI: they are passive (timings are
+		// unchanged) and feed the mailbox/link columns of every run.
+		reg = metrics.New()
+		cfg.Metrics = reg
 		var rep farm.Report
 		if *memBudget > 0 {
 			tcfg := core.DefaultTiledConfig(*memBudget)
@@ -128,7 +149,14 @@ func main() {
 		}
 		sp := baseline / rep.TotalSeconds
 		// Efficiency counts only the cores that actually form workers.
-		tb.AddRowf(n, rep.TotalSeconds, sp, sp/float64(rep.EffectiveCores))
+		var peakMbox, worstUtil float64
+		if rep.Metrics != nil {
+			peakMbox = rep.Metrics.PeakMailboxDepth
+			worstUtil = rep.Metrics.WorstLinkUtilization
+		}
+		tb.AddRowf(n, rep.TotalSeconds, sp, sp/float64(rep.EffectiveCores),
+			fmt.Sprintf("%.0f", peakMbox), fmt.Sprintf("%.2e", worstUtil))
+		lastRep = rep
 		if f := rep.Faults; f != nil {
 			fmt.Fprintf(os.Stderr,
 				"faults (%d slaves): injected kills=%d stalls=%d drops=%d delays=%d corruptions=%d; "+
@@ -148,10 +176,42 @@ func main() {
 	} else {
 		fmt.Print(tb.String())
 	}
-	if rec != nil {
+	if *util && rec != nil {
 		fmt.Println("\nper-core utilization (last run):")
 		fmt.Print(rec.UtilizationTable(40))
 	}
+	if *heatmap {
+		if lastRep.Metrics != nil && lastRep.Metrics.LinkHeatmap != "" {
+			fmt.Println("\nmesh link heatmap (last run):")
+			fmt.Print(lastRep.Metrics.LinkHeatmap)
+		} else {
+			fmt.Fprintln(os.Stderr, "note: no link heatmap (mesh ran without contention modelling)")
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, reg.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		ct := farm.BuildChromeTrace(rec, reg)
+		if err := writeFileWith(*traceOut, ct.Write); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

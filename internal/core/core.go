@@ -23,6 +23,7 @@ import (
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
 	"rckalign/internal/fault"
+	"rckalign/internal/metrics"
 	"rckalign/internal/pdb"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
@@ -204,6 +205,10 @@ type Config struct {
 	// utilization/Gantt reports. The farm layer records internally even
 	// when nil, so RunResult always carries per-core utilization.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives counters, histograms and time
+	// series from every simulation layer and enables the
+	// Report.Metrics summary block (see farm.Config.Metrics).
+	Metrics *metrics.Registry
 	// Collector, when non-nil, observes every collected result (the
 	// farm layer's pluggable sink).
 	Collector farm.Collector
@@ -245,6 +250,7 @@ func (cfg Config) session(slaves int) farm.Config {
 		ThreadEfficiency: cfg.ThreadEfficiency,
 		PollingScale:     cfg.PollingScale,
 		Trace:            cfg.Trace,
+		Metrics:          cfg.Metrics,
 		Collector:        cfg.Collector,
 		Faults:           cfg.Faults,
 		FT:               cfg.FT,

@@ -24,6 +24,7 @@ import (
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/fault"
+	"rckalign/internal/metrics"
 	"rckalign/internal/rcce"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
@@ -111,6 +112,12 @@ type Config struct {
 	// session records into an internal recorder when nil, so Report
 	// utilization is always available.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives counters, histograms and time
+	// series from every layer of the run (sim engine, mesh links, rcce
+	// volumes, per-job latency stages, master mailbox depth) and enables
+	// the Report.Metrics summary block. Recording is passive — it never
+	// changes simulated timings — and nil (the default) is free.
+	Metrics *metrics.Registry
 	// Collector, when non-nil, observes every collected result.
 	Collector Collector
 	// Faults, when non-nil, runs the session fault-tolerantly: the plan
@@ -161,7 +168,43 @@ type Report struct {
 	// Faults summarises fault injection and recovery (nil on the
 	// classic, fault-free path).
 	Faults *FaultStats
+	// Metrics summarises the run's key observability signals (nil unless
+	// Config.Metrics was set).
+	Metrics *MetricsReport
 }
+
+// MetricsReport is the Report block distilled from the metrics registry:
+// the signals that diagnose the paper's master bottleneck at a glance.
+type MetricsReport struct {
+	// PeakMailboxDepth is the most slaves ever simultaneously waiting
+	// with a ready result for the master to collect.
+	PeakMailboxDepth float64
+	// WorstLink names the busiest directed mesh link ("(x,y)->(x,y)");
+	// empty when the mesh ran without contention modelling.
+	WorstLink string
+	// WorstLinkBusySeconds is that link's accumulated busy time.
+	WorstLinkBusySeconds float64
+	// WorstLinkUtilization is that busy time as a fraction of the run.
+	WorstLinkUtilization float64
+	// JobStages aggregates the per-job latency decomposition, keyed
+	// dispatch_wait, input_xfer, compute, result_xfer, collect_wait.
+	JobStages map[string]StageAgg
+	// LinkHeatmap is the mesh's per-link busy-time grid rendered as text
+	// (empty without contention modelling); see noc.Mesh.LinkHeatmap.
+	LinkHeatmap string
+}
+
+// StageAgg summarises one stage of the per-job latency decomposition.
+type StageAgg struct {
+	Count        int64
+	TotalSeconds float64
+	MeanSeconds  float64
+	MaxSeconds   float64
+}
+
+// jobStageNames are the per-job latency stages mirrored into
+// MetricsReport.JobStages from the "farm.job.<stage>_seconds" histograms.
+var jobStageNames = []string{"dispatch_wait", "input_xfer", "compute", "result_xfer", "collect_wait"}
 
 // FaultStats is the Report block for fault-tolerant runs: what was
 // injected at the wire and cores, and what the farm's detection and
@@ -213,6 +256,17 @@ func NewSession(cfg Config) (*Session, error) {
 		rec = trace.New()
 	}
 	s := &Session{cfg: cfg, rt: cfg.Backend.NewRuntime(), place: place, rec: rec}
+	if cfg.Metrics != nil {
+		if s.rt.Engine != nil {
+			s.rt.Engine.SetMetrics(cfg.Metrics)
+		}
+		if s.rt.Chip != nil {
+			s.rt.Chip.Mesh().SetMetrics(cfg.Metrics)
+		}
+		if s.rt.Comm != nil {
+			s.rt.Comm.SetMetrics(cfg.Metrics)
+		}
+	}
 	if cfg.Faults != nil {
 		if s.rt.Chip == nil || s.rt.Comm == nil {
 			return nil, fmt.Errorf("farm: %w: backend %s has no simulated chip", ErrFaultsUnsupported, cfg.Backend.Name())
@@ -297,8 +351,12 @@ func (s *Session) NewTeam(master int, slaves []int) *rckskel.Team {
 		t.DiscoveryCostScale = s.cfg.PollingScale
 	}
 	t.Trace = s.rec
+	t.SetMetrics(s.cfg.Metrics)
 	return t
 }
+
+// Metrics returns the session's metrics registry (nil when disabled).
+func (s *Session) Metrics() *metrics.Registry { return s.cfg.Metrics }
 
 // StartSlaves spawns the default team's slave loops with one handler
 // (the fault-tolerant variant when a fault plan is configured).
@@ -377,6 +435,34 @@ func (s *Session) finalize() {
 			s.rep.CoreUtilization[track] = s.rec.Utilization(track, 0, s.rep.TotalSeconds)
 		}
 	}
+	if reg := s.cfg.Metrics; reg != nil {
+		mr := &MetricsReport{
+			PeakMailboxDepth: reg.Gauge("farm.master.mailbox_peak").Value(),
+			JobStages:        map[string]StageAgg{},
+		}
+		for _, stage := range jobStageNames {
+			h := reg.Histogram("farm.job."+stage+"_seconds", metrics.TimeBuckets)
+			mr.JobStages[stage] = StageAgg{
+				Count:        h.Count(),
+				TotalSeconds: h.Sum(),
+				MeanSeconds:  h.Mean(),
+				MaxSeconds:   h.MaxValue(),
+			}
+		}
+		if s.rt.Chip != nil {
+			mesh := s.rt.Chip.Mesh()
+			mesh.PublishMetrics()
+			if worst := mesh.WorstLink(); worst.BusySeconds > 0 {
+				mr.WorstLink = fmt.Sprintf("%v->%v", worst.From, worst.To)
+				mr.WorstLinkBusySeconds = worst.BusySeconds
+				if s.rep.TotalSeconds > 0 {
+					mr.WorstLinkUtilization = worst.BusySeconds / s.rep.TotalSeconds
+				}
+				mr.LinkHeatmap = mesh.LinkHeatmap()
+			}
+		}
+		s.rep.Metrics = mr
+	}
 	if s.injector != nil {
 		s.rep.Faults = &FaultStats{
 			Injected:          s.injector.Stats(),
@@ -390,6 +476,26 @@ func (s *Session) finalize() {
 			Blacklisted:       s.ft.Blacklisted,
 		}
 	}
+}
+
+// BuildChromeTrace combines an activity recorder and a metrics registry
+// into one Perfetto-loadable Chrome trace: a thread track per traced
+// core (compute slices on slaves, collect slices on the master, fault
+// marks) plus a counter track per registry time series (master mailbox
+// depth, mesh links in flight). Either argument may be nil.
+func BuildChromeTrace(rec *trace.Recorder, reg *metrics.Registry) *trace.ChromeTrace {
+	ct := trace.NewChromeTrace()
+	if rec != nil {
+		ct.AddRecorder(rec)
+	}
+	for _, ss := range reg.Snapshot().Series {
+		pts := make([]trace.CounterPoint, len(ss.Points))
+		for i, p := range ss.Points {
+			pts[i] = trace.CounterPoint{T: p.T, V: p.V}
+		}
+		ct.AddCounter(ss.Key, pts)
+	}
+	return ct
 }
 
 // Master wraps the running master process with report bookkeeping. It

@@ -6,7 +6,9 @@ package noc
 import (
 	"fmt"
 	"sort"
+	"strings"
 
+	"rckalign/internal/metrics"
 	"rckalign/internal/sim"
 )
 
@@ -56,11 +58,120 @@ type Mesh struct {
 	// Directed links: right/left between horizontal neighbours, up/down
 	// between vertical neighbours. Indexed by [from][to-direction].
 	links map[linkKey]*sim.Resource
+
+	// Observability (nil/zero unless SetMetrics installed a registry).
+	reg       *metrics.Registry
+	linkStats map[linkKey]*linkMetrics
+	cXfers    *metrics.Counter
+	cBytes    *metrics.Counter
+	hHops     *metrics.Histogram
+	sActive   *metrics.Series
+	active    int
 }
 
 type linkKey struct {
 	from Coord
 	to   Coord
+}
+
+func (k linkKey) String() string { return fmt.Sprintf("%v->%v", k.from, k.to) }
+
+// linkMetrics holds one directed link's instrument handles.
+type linkMetrics struct {
+	msgs  *metrics.Counter
+	bytes *metrics.Counter
+	wait  *metrics.Counter
+}
+
+// SetMetrics installs a metrics registry on the mesh. Per directed
+// link it records message and byte counts plus accumulated
+// queueing/contention wait (time transfers spent blocked on an occupied
+// link); globally it records transfer counts, bytes, a hop-count
+// histogram, and the "noc.links.active" time series (links held at each
+// instant — the chrome-trace link-utilization counter track). All
+// recording is passive: it consumes no simulated time and schedules no
+// events.
+func (m *Mesh) SetMetrics(reg *metrics.Registry) {
+	m.reg = reg
+	m.cXfers = reg.Counter("noc.transfers")
+	m.cBytes = reg.Counter("noc.transfer.bytes")
+	m.hHops = reg.Histogram("noc.transfer.hops", metrics.HopBuckets)
+	m.sActive = reg.Series("noc.links.active")
+	m.linkStats = map[linkKey]*linkMetrics{}
+	for y := 0; y < m.cfg.Height; y++ {
+		for x := 0; x < m.cfg.Width; x++ {
+			c := Coord{x, y}
+			for _, n := range []Coord{{x + 1, y}, {x - 1, y}, {x, y + 1}, {x, y - 1}} {
+				k := linkKey{c, n}
+				if _, ok := m.links[k]; !ok {
+					continue
+				}
+				name := k.String()
+				m.linkStats[k] = &linkMetrics{
+					msgs:  reg.Counter("noc.link.messages", "link", name),
+					bytes: reg.Counter("noc.link.bytes", "link", name),
+					wait:  reg.Counter("noc.link.wait_seconds", "link", name),
+				}
+			}
+		}
+	}
+}
+
+// PublishMetrics exports end-of-run per-link busy seconds as gauges
+// ("noc.link.busy_seconds{link=...}"). Call once when the simulation has
+// drained; a second call overwrites with the same values. No-op when
+// SetMetrics was never called.
+func (m *Mesh) PublishMetrics() {
+	if m.reg == nil {
+		return
+	}
+	for k, l := range m.links {
+		m.reg.Gauge("noc.link.busy_seconds", "link", k.String()).Set(l.BusySeconds())
+	}
+}
+
+// recordLinkTraffic attributes one message's bytes to every directed
+// link on its route (any contention mode).
+func (m *Mesh) recordLinkTraffic(a Coord, route []Coord, bytes int) {
+	if m.linkStats == nil {
+		return
+	}
+	cur := a
+	for _, next := range route {
+		if ls := m.linkStats[linkKey{cur, next}]; ls != nil {
+			ls.msgs.Inc()
+			ls.bytes.Add(float64(bytes))
+		}
+		cur = next
+	}
+}
+
+// acquireTimed wraps Resource.Acquire, charging the blocked time to the
+// link's contention-wait counter and maintaining the active-links
+// series.
+func (m *Mesh) acquireTimed(p *sim.Process, k linkKey) {
+	link := m.links[k]
+	if m.linkStats == nil {
+		link.Acquire(p)
+		return
+	}
+	t0 := p.Now()
+	link.Acquire(p)
+	if ls := m.linkStats[k]; ls != nil {
+		ls.wait.Add(p.Now() - t0)
+	}
+	m.active++
+	m.sActive.Append(p.Now(), float64(m.active))
+}
+
+// releaseTimed is the matching release for acquireTimed.
+func (m *Mesh) releaseTimed(p *sim.Process, k linkKey) {
+	m.links[k].Release(p)
+	if m.linkStats == nil {
+		return
+	}
+	m.active--
+	m.sActive.Append(p.Now(), float64(m.active))
 }
 
 // New builds a mesh for the given engine (the engine pointer is not
@@ -159,11 +270,18 @@ func (m *Mesh) Transfer(p *sim.Process, a, b Coord, bytes int) {
 	if bytes <= 0 {
 		bytes = 1
 	}
+	m.cXfers.Inc()
+	m.cBytes.Add(float64(bytes))
+	m.hHops.Observe(float64(m.Hops(a, b)))
 	if !m.cfg.ModelContention {
+		if m.linkStats != nil {
+			m.recordLinkTraffic(a, m.Route(a, b), bytes)
+		}
 		p.Wait(m.LatencySeconds(a, b, bytes))
 		return
 	}
 	route := m.Route(a, b)
+	m.recordLinkTraffic(a, route, bytes)
 	if len(route) == 0 {
 		// Same router (e.g. both cores on one tile): local MIU copy.
 		p.Wait(m.cfg.HopSeconds + float64(bytes)/m.cfg.BytesPerSecond)
@@ -173,25 +291,25 @@ func (m *Mesh) Transfer(p *sim.Process, a, b Coord, bytes int) {
 	if m.cfg.Wormhole {
 		// Acquire every link on the route in XY order (a total order, so
 		// no deadlock), stream the message once, release.
-		links := make([]*sim.Resource, len(route))
+		keys := make([]linkKey, len(route))
 		cur := a
 		for i, next := range route {
-			links[i] = m.links[linkKey{cur, next}]
-			links[i].Acquire(p)
+			keys[i] = linkKey{cur, next}
+			m.acquireTimed(p, keys[i])
 			cur = next
 		}
 		p.Wait(float64(len(route))*m.cfg.HopSeconds + ser)
-		for _, l := range links {
-			l.Release(p)
+		for _, k := range keys {
+			m.releaseTimed(p, k)
 		}
 		return
 	}
 	cur := a
 	for _, next := range route {
-		link := m.links[linkKey{cur, next}]
-		link.Acquire(p)
+		k := linkKey{cur, next}
+		m.acquireTimed(p, k)
 		p.Wait(m.cfg.HopSeconds + ser)
-		link.Release(p)
+		m.releaseTimed(p, k)
 		cur = next
 	}
 }
@@ -235,11 +353,82 @@ func (m *Mesh) TopLinks(n int) []LinkLoad {
 	return loads[:n]
 }
 
+// WorstLink returns the single busiest directed link (zero value when
+// the mesh has no links, e.g. a 1x1 grid).
+func (m *Mesh) WorstLink() LinkLoad {
+	top := m.TopLinks(1)
+	if len(top) == 0 {
+		return LinkLoad{}
+	}
+	return top[0]
+}
+
 func less(a, b Coord) bool {
 	if a.Y != b.Y {
 		return a.Y < b.Y
 	}
 	return a.X < b.X
+}
+
+// LinkHeatmap renders per-link busy time as a text grid: routers are
+// 'o', the digit between two routers is that link pair's busy seconds
+// (the busier of the two directions) normalised to the hottest link,
+// 0-9. Horizontal links sit between routers on router rows; vertical
+// links sit on the rows between. A trailing legend line reports the
+// peak, so digits are readable as absolute time too. This is the
+// paper's mesh-contention view at link rather than router granularity.
+func (m *Mesh) LinkHeatmap() string {
+	peak := 0.0
+	// pairBusy returns the busier direction of the a<->b link pair.
+	pairBusy := func(a, b Coord) float64 {
+		busy := 0.0
+		for _, k := range [2]linkKey{{a, b}, {b, a}} {
+			if l := m.links[k]; l != nil && l.BusySeconds() > busy {
+				busy = l.BusySeconds()
+			}
+		}
+		return busy
+	}
+	for y := 0; y < m.cfg.Height; y++ {
+		for x := 0; x < m.cfg.Width; x++ {
+			c := Coord{x, y}
+			for _, n := range []Coord{{x + 1, y}, {x, y + 1}} {
+				if b := pairBusy(c, n); b > peak {
+					peak = b
+				}
+			}
+		}
+	}
+	digit := func(busy float64) byte {
+		if peak <= 0 {
+			return '0'
+		}
+		return '0' + byte(9*busy/peak)
+	}
+	var b strings.Builder
+	for y := 0; y < m.cfg.Height; y++ {
+		for x := 0; x < m.cfg.Width; x++ {
+			if x > 0 {
+				b.WriteByte(' ')
+				b.WriteByte(digit(pairBusy(Coord{x - 1, y}, Coord{x, y})))
+				b.WriteByte(' ')
+			}
+			b.WriteByte('o')
+		}
+		b.WriteByte('\n')
+		if y == m.cfg.Height-1 {
+			break
+		}
+		for x := 0; x < m.cfg.Width; x++ {
+			if x > 0 {
+				b.WriteString("   ")
+			}
+			b.WriteByte(digit(pairBusy(Coord{x, y}, Coord{x, y + 1})))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "peak link busy: %.6gs\n", peak)
+	return b.String()
 }
 
 // Heatmap renders per-router total adjacent-link busy seconds as a text

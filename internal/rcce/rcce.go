@@ -16,6 +16,7 @@ package rcce
 import (
 	"fmt"
 
+	"rckalign/internal/metrics"
 	"rckalign/internal/scc"
 	"rckalign/internal/sim"
 )
@@ -26,6 +27,10 @@ type Message struct {
 	Src, Dst int
 	Bytes    int
 	Payload  any
+	// SentAt is the simulated time the sender entered Send — the moment
+	// its ready flag went up. Receivers use it to attribute how long a
+	// message sat waiting for them (the master-mailbox collect-wait).
+	SentAt float64
 	// Corrupt marks a payload damaged on the wire; the receiver detects
 	// it via the chunk checksums (the payload itself is preserved in the
 	// simulation, only the flag is raised).
@@ -62,6 +67,35 @@ type Comm struct {
 	// inter, when non-nil, is consulted for every Send.
 	inter   Interposer
 	barrier *sim.Barrier
+
+	// Observability handles (nil unless SetMetrics installed a registry).
+	cSendMsgs  *metrics.Counter
+	cSendBytes *metrics.Counter
+	hMsgBytes  *metrics.Histogram
+	sentBytes  map[int]*metrics.Counter
+	recvBytes  map[int]*metrics.Counter
+}
+
+// SetMetrics installs a metrics registry: every Send records message
+// count, wire bytes and a size histogram, plus per-core sent/received
+// byte volumes ("rcce.core.sent_bytes{core=rckNN}" and
+// "rcce.core.recv_bytes{core=rckNN}"). Passive — no simulated time is
+// consumed. Passing nil disables recording again.
+func (c *Comm) SetMetrics(reg *metrics.Registry) {
+	c.cSendMsgs = reg.Counter("rcce.send.messages")
+	c.cSendBytes = reg.Counter("rcce.send.bytes")
+	c.hMsgBytes = reg.Histogram("rcce.message.bytes", metrics.SizeBuckets)
+	if reg == nil {
+		c.sentBytes, c.recvBytes = nil, nil
+		return
+	}
+	c.sentBytes = make(map[int]*metrics.Counter, c.chip.NumCores())
+	c.recvBytes = make(map[int]*metrics.Counter, c.chip.NumCores())
+	for core := 0; core < c.chip.NumCores(); core++ {
+		name := c.chip.CoreName(core)
+		c.sentBytes[core] = reg.Counter("rcce.core.sent_bytes", "core", name)
+		c.recvBytes[core] = reg.Counter("rcce.core.recv_bytes", "core", name)
+	}
 }
 
 type pairChans struct {
@@ -121,7 +155,11 @@ func (c *Comm) Send(p *sim.Process, src, dst, bytes int, payload any) {
 	if bytes < 1 {
 		bytes = 1
 	}
-	m := Message{Src: src, Dst: dst, Bytes: bytes, Payload: payload, done: sim.NewLatch("rcce.done")}
+	m := Message{Src: src, Dst: dst, Bytes: bytes, Payload: payload, SentAt: p.Now(), done: sim.NewLatch("rcce.done")}
+	c.cSendMsgs.Inc()
+	c.cSendBytes.Add(float64(bytes))
+	c.hMsgBytes.Observe(float64(bytes))
+	c.sentBytes[src].Add(float64(bytes))
 	var out Outcome
 	if c.inter != nil {
 		out = c.inter.Deliver(p, &m)
@@ -148,16 +186,34 @@ func (c *Comm) Send(p *sim.Process, src, dst, bytes int, payload any) {
 	p.SetBlockDetail("")
 }
 
+// RecvTiming decomposes one Recv: WaitSeconds is the time spent blocked
+// before the sender's rendezvous (the message "wasn't there yet"), and
+// XferSeconds is the chunked MPB transfer time after rendezvous.
+type RecvTiming struct {
+	WaitSeconds float64
+	XferSeconds float64
+}
+
 // Recv blocks the calling process (core dst) until a message from src
 // arrives and its transfer completes, then returns it. Check
 // Message.Corrupt before trusting the payload when faults are modelled.
 func (c *Comm) Recv(p *sim.Process, src, dst int) Message {
+	m, _ := c.RecvTimed(p, src, dst)
+	return m
+}
+
+// RecvTimed is Recv with the wait/transfer split reported alongside the
+// message; the farm layers use it to decompose per-job latencies.
+func (c *Comm) RecvTimed(p *sim.Process, src, dst int) (Message, RecvTiming) {
 	p.SetBlockDetail(fmt.Sprintf("rcce recv %d<-%d", dst, src))
 	pc := c.pair(src, dst)
+	start := p.Now()
 	m := pc.req.Recv(p).(Message)
+	rdv := p.Now()
 	m.done.Wait(p)
 	p.SetBlockDetail("")
-	return m
+	c.recvBytes[dst].Add(float64(m.Bytes))
+	return m, RecvTiming{WaitSeconds: rdv - start, XferSeconds: p.Now() - rdv}
 }
 
 // RecvTimeout is Recv with a deadline over the whole operation (waiting
@@ -181,6 +237,7 @@ func (c *Comm) RecvTimeout(p *sim.Process, src, dst int, d float64) (Message, bo
 	if !m.done.WaitTimeout(p, remaining) {
 		return Message{}, false
 	}
+	c.recvBytes[dst].Add(float64(m.Bytes))
 	return m, true
 }
 
@@ -197,6 +254,7 @@ func (c *Comm) RecvOrLatch(p *sim.Process, src, dst int, l *sim.Latch) (Message,
 	}
 	m := v.(Message)
 	m.done.Wait(p)
+	c.recvBytes[dst].Add(float64(m.Bytes))
 	return m, true
 }
 

@@ -116,9 +116,13 @@ func (t *Team) slaveLoopFT(p *sim.Process, core int, h Handler) {
 		payload, ops, resultBytes := h(job)
 		computeStart := p.Now()
 		t.Comm.Chip().Compute(p, ops)
+		computeEnd := p.Now()
 		if t.Trace != nil {
-			t.Trace.Add(t.Comm.Chip().CoreName(core), computeStart, p.Now(), "compute")
+			t.Trace.Add(t.Comm.Chip().CoreName(core), computeStart, computeEnd, "compute")
 		}
+		t.hCompute.Observe(computeEnd - computeStart)
+		t.slaveJobs[core].Inc()
+		t.slaveCompute[core].Add(computeEnd - computeStart)
 		if resultBytes < 1 {
 			resultBytes = 1
 		}
@@ -127,6 +131,7 @@ func (t *Team) slaveLoopFT(p *sim.Process, core int, h Handler) {
 			// discard the result and loop around for the sentinel.
 			continue
 		}
+		t.ringUp(core, p.Now())
 		t.ring.Put(core)
 		t.Comm.Send(p, core, t.Master, resultBytes, Result{
 			JobID: job.ID, Slave: core, Payload: payload, Bytes: resultBytes,
@@ -279,12 +284,14 @@ func (t *Team) FARMFT(p *sim.Process, jobs []Job, cfg FTConfig, collect func(Res
 	// charging the same discovery cost as the classic farm's polling.
 	handleRing := func(s int) {
 		collectStart := p.Now()
+		t.hCollectWait.Observe(t.ringDown(s, collectStart))
 		p.Wait(t.DiscoveryCostScale * t.discoveryCost(s))
 		st.PollProbes += len(t.Slaves)/2 + 1
 		m, ok := t.Comm.RecvTimeout(p, s, t.Master, resultTimeout)
 		if t.Trace != nil {
 			t.Trace.Add(t.Comm.Chip().CoreName(t.Master), collectStart, p.Now(), "collect")
 		}
+		t.cMasterCollect.Add(p.Now() - collectStart)
 		f := inflight[s]
 		delete(inflight, s)
 		suspect[s] = false
@@ -326,6 +333,7 @@ func (t *Team) FARMFT(p *sim.Process, jobs []Job, cfg FTConfig, collect func(Res
 			ft.LostJobs--
 		}
 		completed++
+		t.cJobsDone.Inc()
 		st.JobsPerSlave[res.Slave]++
 		if collect != nil {
 			collect(res)

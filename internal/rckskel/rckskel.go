@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"rckalign/internal/costmodel"
+	"rckalign/internal/metrics"
 	"rckalign/internal/rcce"
 	"rckalign/internal/sim"
 	"rckalign/internal/trace"
@@ -84,6 +85,92 @@ type Team struct {
 	// ftResultTimeout is the resolved result-transfer timeout of the
 	// last FARMFT, reused by TerminateFT's drain.
 	ftResultTimeout float64
+
+	// ringAt[slave] is the simulated time the slave last raised its
+	// ready flag; the master reads it when collecting to attribute how
+	// long the result sat in the "mailbox" (at most one outstanding ring
+	// per slave, by construction of the slave loops).
+	ringAt map[int]float64
+
+	// Observability handles, nil unless SetMetrics installed a registry.
+	reg            *metrics.Registry
+	hDispatchWait  *metrics.Histogram
+	hInputXfer     *metrics.Histogram
+	hCompute       *metrics.Histogram
+	hResultXfer    *metrics.Histogram
+	hCollectWait   *metrics.Histogram
+	cJobsDone      *metrics.Counter
+	cMasterCollect *metrics.Counter
+	sMailbox       *metrics.Series
+	gMailboxPeak   *metrics.Gauge
+	slaveJobs      map[int]*metrics.Counter
+	slaveCompute   map[int]*metrics.Counter
+	slaveWait      map[int]*metrics.Counter
+	mailboxDepth   int
+}
+
+// SetMetrics installs a metrics registry: the team then decomposes every
+// job's latency into dispatch-wait, input-transfer, compute,
+// result-transfer and collect-wait histograms ("farm.job.*_seconds"),
+// keeps per-slave aggregates ("farm.slave.*{slave=rckNN}"), and samples
+// the master's mailbox depth — the number of slaves with a result ready
+// that the master has not yet started collecting — as a time series
+// ("farm.master.mailbox_depth") with its peak as a gauge. Recording is
+// passive: no simulated time, no extra events. Passing nil disables it.
+func (t *Team) SetMetrics(reg *metrics.Registry) {
+	t.reg = reg
+	t.hDispatchWait = reg.Histogram("farm.job.dispatch_wait_seconds", metrics.TimeBuckets)
+	t.hInputXfer = reg.Histogram("farm.job.input_xfer_seconds", metrics.TimeBuckets)
+	t.hCompute = reg.Histogram("farm.job.compute_seconds", metrics.TimeBuckets)
+	t.hResultXfer = reg.Histogram("farm.job.result_xfer_seconds", metrics.TimeBuckets)
+	t.hCollectWait = reg.Histogram("farm.job.collect_wait_seconds", metrics.TimeBuckets)
+	t.cJobsDone = reg.Counter("farm.jobs.completed")
+	t.cMasterCollect = reg.Counter("farm.master.collect_seconds")
+	t.sMailbox = reg.Series("farm.master.mailbox_depth")
+	t.gMailboxPeak = reg.Gauge("farm.master.mailbox_peak")
+	if reg == nil {
+		t.slaveJobs, t.slaveCompute, t.slaveWait = nil, nil, nil
+		return
+	}
+	t.slaveJobs = make(map[int]*metrics.Counter, len(t.Slaves))
+	t.slaveCompute = make(map[int]*metrics.Counter, len(t.Slaves))
+	t.slaveWait = make(map[int]*metrics.Counter, len(t.Slaves))
+	for _, s := range t.Slaves {
+		name := t.Comm.Chip().CoreName(s)
+		t.slaveJobs[s] = reg.Counter("farm.slave.jobs", "slave", name)
+		t.slaveCompute[s] = reg.Counter("farm.slave.compute_seconds", "slave", name)
+		t.slaveWait[s] = reg.Counter("farm.slave.dispatch_wait_seconds", "slave", name)
+	}
+}
+
+// PeakMailboxDepth returns the deepest the master's mailbox got (0 when
+// metrics are disabled).
+func (t *Team) PeakMailboxDepth() float64 { return t.gMailboxPeak.Value() }
+
+// MailboxSeries returns the mailbox-depth time series handle (nil when
+// metrics are disabled).
+func (t *Team) MailboxSeries() *metrics.Series { return t.sMailbox }
+
+// ringUp records that slave's result went ready at time now.
+func (t *Team) ringUp(slave int, now float64) {
+	t.ringAt[slave] = now
+	if t.reg == nil {
+		return
+	}
+	t.mailboxDepth++
+	t.sMailbox.Append(now, float64(t.mailboxDepth))
+	t.gMailboxPeak.Max(float64(t.mailboxDepth))
+}
+
+// ringDown records that the master noticed the slave's flag at time now
+// and returns how long the result sat waiting.
+func (t *Team) ringDown(slave int, now float64) float64 {
+	wait := now - t.ringAt[slave]
+	if t.reg != nil {
+		t.mailboxDepth--
+		t.sMailbox.Append(now, float64(t.mailboxDepth))
+	}
+	return wait
 }
 
 // NewTeam builds a team with the master on masterCore and the given
@@ -102,6 +189,7 @@ func NewTeam(comm *rcce.Comm, masterCore int, slaves []int) *Team {
 		doorbell:           sim.NewChan("rckskel.ready"),
 		stop:               sim.NewLatch("rckskel.stop"),
 		ring:               sim.NewQueue("rckskel.ring"),
+		ringAt:             map[int]float64{},
 	}
 }
 
@@ -126,22 +214,30 @@ func (t *Team) StartSlavesWith(h func(core int) Handler) {
 
 func (t *Team) slaveLoop(p *sim.Process, core int, h Handler) {
 	for {
-		m := t.Comm.Recv(p, t.Master, core)
+		m, tm := t.Comm.RecvTimed(p, t.Master, core)
 		if _, done := m.Payload.(terminate); done {
 			return
 		}
+		t.hDispatchWait.Observe(tm.WaitSeconds)
+		t.hInputXfer.Observe(tm.XferSeconds)
+		t.slaveWait[core].Add(tm.WaitSeconds)
 		job := m.Payload.(Job)
 		payload, ops, resultBytes := h(job)
 		computeStart := p.Now()
 		t.Comm.Chip().Compute(p, ops)
+		computeEnd := p.Now()
 		if t.Trace != nil {
-			t.Trace.Add(t.Comm.Chip().CoreName(core), computeStart, p.Now(), "compute")
+			t.Trace.Add(t.Comm.Chip().CoreName(core), computeStart, computeEnd, "compute")
 		}
+		t.hCompute.Observe(computeEnd - computeStart)
+		t.slaveJobs[core].Inc()
+		t.slaveCompute[core].Add(computeEnd - computeStart)
 		if resultBytes < 1 {
 			resultBytes = 1
 		}
 		// Raise the ready flag (the master's poll will find it) and then
 		// post the result.
+		t.ringUp(core, p.Now())
 		t.doorbell.Send(p, core)
 		t.Comm.Send(p, core, t.Master, resultBytes, Result{
 			JobID: job.ID, Slave: core, Payload: payload, Bytes: resultBytes,
@@ -185,12 +281,16 @@ type Stats struct {
 func (t *Team) collectOne(p *sim.Process, st *Stats) Result {
 	slave := t.doorbell.Recv(p).(int)
 	collectStart := p.Now()
+	t.hCollectWait.Observe(t.ringDown(slave, collectStart))
 	p.Wait(t.DiscoveryCostScale * t.discoveryCost(slave))
 	st.PollProbes += len(t.Slaves)/2 + 1
-	m := t.Comm.Recv(p, slave, t.Master)
+	m, tm := t.Comm.RecvTimed(p, slave, t.Master)
 	if t.Trace != nil {
 		t.Trace.Add(t.Comm.Chip().CoreName(t.Master), collectStart, p.Now(), "collect")
 	}
+	t.hResultXfer.Observe(tm.XferSeconds)
+	t.cMasterCollect.Add(p.Now() - collectStart)
+	t.cJobsDone.Inc()
 	res := m.Payload.(Result)
 	st.JobsPerSlave[res.Slave]++
 	return res

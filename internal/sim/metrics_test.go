@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"rckalign/internal/metrics"
+)
+
+// TestEngineMetrics: spawns, kills, wake-ups, callbacks and block
+// durations are all counted, and enabling them does not change the
+// simulated clock.
+func TestEngineMetrics(t *testing.T) {
+	run := func(reg *metrics.Registry) float64 {
+		e := NewEngine()
+		e.SetMetrics(reg)
+		ch := NewChan("c")
+		e.Spawn("sender", func(p *Process) {
+			p.Wait(1)
+			ch.Send(p, 42)
+		})
+		e.Spawn("receiver", func(p *Process) {
+			if got := ch.Recv(p).(int); got != 42 {
+				t.Errorf("recv = %v", got)
+			}
+		})
+		victim := e.Spawn("victim", func(p *Process) { p.Wait(100) })
+		e.After(0.5, func() { e.Kill(victim) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+
+	reg := metrics.New()
+	instrumented := run(reg)
+	if bare := run(nil); bare != instrumented {
+		t.Errorf("metrics changed the clock: %v vs %v", instrumented, bare)
+	}
+	if got := reg.Counter("sim.proc.spawned").Value(); got != 3 {
+		t.Errorf("spawned = %v, want 3", got)
+	}
+	if got := reg.Counter("sim.proc.killed").Value(); got != 1 {
+		t.Errorf("killed = %v, want 1", got)
+	}
+	if got := reg.Counter("sim.events.callbacks").Value(); got != 1 {
+		t.Errorf("callbacks = %v, want 1", got)
+	}
+	if reg.Counter("sim.events.process_wakeups").Value() == 0 {
+		t.Error("no wake-ups counted")
+	}
+	// The receiver blocked for 1 s waiting on the rendezvous.
+	h := reg.Histogram("sim.proc.block_seconds", metrics.TimeBuckets)
+	if h.Count() == 0 || h.MaxValue() != 1 {
+		t.Errorf("block histogram count=%d max=%v, want max 1", h.Count(), h.MaxValue())
+	}
+	if got := reg.Counter("sim.proc.blocks").Value(); got != float64(h.Count()) {
+		t.Errorf("blocks counter %v != histogram count %d", got, h.Count())
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"rckalign/internal/metrics"
 )
 
 // event is a scheduled wake-up of a process or a callback.
@@ -52,6 +54,28 @@ type Engine struct {
 	park   chan struct{}
 	live   map[*Process]bool
 	runner *Process // process currently executing (nil = engine)
+
+	// Instrument handles, nil unless SetMetrics installed a registry;
+	// every record call is a nil-safe no-op when disabled.
+	mWakes     *metrics.Counter
+	mCallbacks *metrics.Counter
+	mSpawns    *metrics.Counter
+	mKills     *metrics.Counter
+	mBlocks    *metrics.Counter
+	hBlock     *metrics.Histogram
+}
+
+// SetMetrics installs a metrics registry: the engine then counts event
+// dispatches (process wake-ups vs callbacks), spawns, kills and process
+// blocks, and records block durations as a histogram — all in simulated
+// time. Passing nil disables recording again.
+func (e *Engine) SetMetrics(reg *metrics.Registry) {
+	e.mWakes = reg.Counter("sim.events.process_wakeups")
+	e.mCallbacks = reg.Counter("sim.events.callbacks")
+	e.mSpawns = reg.Counter("sim.proc.spawned")
+	e.mKills = reg.Counter("sim.proc.killed")
+	e.mBlocks = reg.Counter("sim.proc.blocks")
+	e.hBlock = reg.Histogram("sim.proc.block_seconds", metrics.TimeBuckets)
 }
 
 // NewEngine returns an empty engine at time 0.
@@ -152,6 +176,7 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		e.park <- struct{}{}
 	}()
 	e.scheduleProc(e.now, p)
+	e.mSpawns.Inc()
 	return p
 }
 
@@ -165,6 +190,7 @@ func (e *Engine) Kill(p *Process) {
 		return
 	}
 	p.killed = true
+	e.mKills.Inc()
 	// Wake it (possibly redundantly) so the goroutine unwinds promptly.
 	e.scheduleProc(e.now, p)
 }
@@ -212,9 +238,14 @@ func (p *Process) Wait(d float64) {
 
 // block parks the process with no scheduled wake-up; some other process
 // or event must call unblock. why is recorded for deadlock reports.
+// (A killed process unwinds out of yield, so the histogram only sees
+// blocks that actually resumed.)
 func (p *Process) block(why string) {
 	p.blocked = why
+	p.e.mBlocks.Inc()
+	start := p.e.now
 	p.yield()
+	p.e.hBlock.Observe(p.e.now - start)
 	p.blocked = ""
 }
 
@@ -268,10 +299,12 @@ func (e *Engine) Run() error {
 			if ev.p.done {
 				continue
 			}
+			e.mWakes.Inc()
 			e.runner = ev.p
 			ev.p.resume <- struct{}{}
 			<-e.park
 		} else if ev.fn != nil {
+			e.mCallbacks.Inc()
 			ev.fn()
 		}
 	}
@@ -301,10 +334,12 @@ func (e *Engine) RunUntil(t float64) {
 			if ev.p.done {
 				continue
 			}
+			e.mWakes.Inc()
 			e.runner = ev.p
 			ev.p.resume <- struct{}{}
 			<-e.park
 		} else if ev.fn != nil {
+			e.mCallbacks.Inc()
 			ev.fn()
 		}
 	}

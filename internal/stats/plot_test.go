@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlotMarkerCycle: series added without an explicit marker get the
+// default cycle in order.
+func TestPlotMarkerCycle(t *testing.T) {
+	p := NewPlot("t", "x", "y")
+	for i := 0; i < 3; i++ {
+		p.Add(Series{Name: "s", X: []float64{1}, Y: []float64{1}})
+	}
+	out := p.Render(20, 6)
+	for _, want := range []string{"* = s", "+ = s", "o = s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPlotNegativeY: the Y axis extends below zero when data does,
+// instead of clamping the floor to 0.
+func TestPlotNegativeY(t *testing.T) {
+	p := NewPlot("", "x", "y")
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{-2, 4}})
+	out := p.Render(20, 6)
+	if !strings.Contains(out, "-2") {
+		t.Errorf("negative minimum not on the axis:\n%s", out)
+	}
+}
+
+// TestPlotLogSkipsNonPositive: log-scale plots drop y<=0 points rather
+// than producing NaN rows; a series of only such points renders empty.
+func TestPlotLogSkipsNonPositive(t *testing.T) {
+	p := NewPlot("", "x", "y")
+	p.LogY = true
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, -5}})
+	if out := p.Render(20, 6); out != "(empty plot)\n" {
+		t.Errorf("log plot of non-positive data = %q", out)
+	}
+}
+
+// TestPlotSinglePoint: a single point must not divide by zero; the axes
+// expand to a unit range around it.
+func TestPlotSinglePoint(t *testing.T) {
+	p := NewPlot("one", "x", "y")
+	p.Add(Series{Name: "s", Marker: '#', X: []float64{3}, Y: []float64{7}})
+	out := p.Render(20, 6)
+	if !strings.Contains(out, "#") {
+		t.Errorf("marker not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "one") {
+		t.Errorf("title missing:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeTrace unmarshals a written trace back into generic events.
+func decodeTrace(t *testing.T, buf []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func TestChromeTraceFromRecorder(t *testing.T) {
+	r := New()
+	r.Add("rck01", 0, 0.5, "compute")
+	r.Add("rck01", 1, 1.25, "compute")
+	r.Add("rck00", 0.5, 0.6, "collect")
+	r.AddMark("rck01", 0.75, "kill")
+
+	ct := NewChromeTrace()
+	ct.AddRecorder(r)
+	ct.AddCounter("mailbox", []CounterPoint{{T: 0, V: 1}, {T: 0.5, V: 2}})
+
+	var b bytes.Buffer
+	if err := ct.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, b.Bytes())
+
+	count := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range events {
+		count[ev["ph"].(string)]++
+		if ev["ph"] == "M" {
+			args := ev["args"].(map[string]any)
+			names[args["name"].(string)] = true
+		}
+	}
+	if count["M"] != 2 || !names["rck00"] || !names["rck01"] {
+		t.Errorf("thread_name metadata = %d (%v), want tracks rck00+rck01", count["M"], names)
+	}
+	if count["X"] != 3 {
+		t.Errorf("complete slices = %d, want 3", count["X"])
+	}
+	if count["i"] != 1 {
+		t.Errorf("instant events = %d, want 1", count["i"])
+	}
+	if count["C"] != 2 {
+		t.Errorf("counter samples = %d, want 2", count["C"])
+	}
+
+	// Timestamps are microseconds: the 0.5 s interval is 500000 us long.
+	for _, ev := range events {
+		if ev["ph"] == "X" && ev["ts"].(float64) == 0 {
+			if dur := ev["dur"].(float64); dur != 500000 {
+				t.Errorf("dur = %v us, want 500000", dur)
+			}
+		}
+	}
+}
+
+// TestChromeTraceDeterminism: the same inputs serialise byte-identically.
+func TestChromeTraceDeterminism(t *testing.T) {
+	build := func() []byte {
+		r := New()
+		r.Add("rck01", 0, 1, "compute")
+		r.AddMark("rck01", 0.5, "kill")
+		ct := NewChromeTrace()
+		ct.AddRecorder(r)
+		ct.AddCounter("depth", []CounterPoint{{T: 0.25, V: 3}})
+		var b bytes.Buffer
+		if err := ct.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical traces serialised differently")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := NewChromeTrace().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if events := decodeTrace(t, b.Bytes()); len(events) != 0 {
+		t.Errorf("empty trace has %d events", len(events))
+	}
+	if !bytes.Contains(b.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Errorf("empty trace not an empty array: %s", b.String())
+	}
+}

@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -105,13 +106,26 @@ func (r *Recorder) Span() (float64, float64) {
 	return lo, hi
 }
 
-// BusySeconds returns a track's total busy time (overlaps merged).
-func (r *Recorder) BusySeconds(track string) float64 {
-	ivs := append([]Interval(nil), r.tracks[track]...)
+// mergedBusy sums the intervals clipped to the window [t0, t1] with
+// overlaps merged: a sorted sweep that extends the current merged run or
+// closes it and starts the next, so double-booked time counts once.
+func mergedBusy(intervals []Interval, t0, t1 float64) float64 {
+	ivs := make([]Interval, 0, len(intervals))
+	for _, iv := range intervals {
+		s, e := iv.Start, iv.End
+		if s < t0 {
+			s = t0
+		}
+		if e > t1 {
+			e = t1
+		}
+		if e > s {
+			ivs = append(ivs, Interval{Start: s, End: e})
+		}
+	}
 	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
-	var busy, curEnd float64
+	var busy, curStart, curEnd float64
 	started := false
-	var curStart float64
 	for _, iv := range ivs {
 		if !started || iv.Start > curEnd {
 			if started {
@@ -129,29 +143,35 @@ func (r *Recorder) BusySeconds(track string) float64 {
 	return busy
 }
 
-// Utilization returns a track's busy fraction of the window [t0, t1].
+// BusySeconds returns a track's total busy time (overlaps merged).
+func (r *Recorder) BusySeconds(track string) float64 {
+	return mergedBusy(r.tracks[track], math.Inf(-1), math.Inf(1))
+}
+
+// Utilization returns a track's busy fraction of the window [t0, t1],
+// with overlapping intervals merged so the fraction never exceeds 1 by
+// double-counting the same span.
 func (r *Recorder) Utilization(track string, t0, t1 float64) float64 {
 	if t1 <= t0 {
 		return 0
 	}
-	busy := 0.0
-	for _, iv := range r.tracks[track] {
-		s, e := iv.Start, iv.End
-		if s < t0 {
-			s = t0
-		}
-		if e > t1 {
-			e = t1
-		}
-		if e > s {
-			busy += e - s
-		}
-	}
-	u := busy / (t1 - t0)
+	u := mergedBusy(r.tracks[track], t0, t1) / (t1 - t0)
 	if u > 1 {
 		u = 1
 	}
 	return u
+}
+
+// nameWidth returns the track-name column width: the longest recorded
+// track name, at least 10 so short names keep the historical layout.
+func (r *Recorder) nameWidth() int {
+	w := 10
+	for _, track := range r.order {
+		if len(track) > w {
+			w = len(track)
+		}
+	}
+	return w
 }
 
 // UtilizationTable renders per-track utilization over the full span as
@@ -161,12 +181,13 @@ func (r *Recorder) UtilizationTable(width int) string {
 		width = 10
 	}
 	t0, t1 := r.Span()
+	nw := r.nameWidth()
 	var b strings.Builder
 	fmt.Fprintf(&b, "window: %.3f .. %.3f s\n", t0, t1)
 	for _, track := range r.order {
 		u := r.Utilization(track, t0, t1)
 		n := int(u*float64(width) + 0.5)
-		fmt.Fprintf(&b, "%-10s %5.1f%% |%s%s|\n", track, 100*u,
+		fmt.Fprintf(&b, "%-*s %5.1f%% |%s%s|\n", nw, track, 100*u,
 			strings.Repeat("#", n), strings.Repeat(" ", width-n))
 	}
 	return b.String()
@@ -185,6 +206,7 @@ func (r *Recorder) Gantt(width int) string {
 		return "(empty trace)\n"
 	}
 	dt := (t1 - t0) / float64(width)
+	nw := r.nameWidth()
 	var b strings.Builder
 	for _, track := range r.order {
 		row := make([]byte, width)
@@ -214,7 +236,7 @@ func (r *Recorder) Gantt(width int) string {
 			}
 			row[i] = 'X'
 		}
-		fmt.Fprintf(&b, "%-10s %s\n", track, row)
+		fmt.Fprintf(&b, "%-*s %s\n", nw, track, row)
 	}
 	return b.String()
 }
