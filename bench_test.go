@@ -209,6 +209,36 @@ func BenchmarkHierarchy(b *testing.B) {
 	b.ReportMetric(tree, "hierarchy4_sim_s")
 }
 
+// BenchmarkCacheBatch is the structure-cache + batched-dispatch
+// ablation: classic wire vs cached+batched+affinity on CK34 at 47
+// slaves, reporting the NoC input-byte reduction alongside the
+// simulated times.
+func BenchmarkCacheBatch(b *testing.B) {
+	env := loadEnv(b)
+	var classic, wired, reduction, hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := core.Run(env.CK34, 47, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.CacheStructs = -1
+		cfg.Batch = 8
+		cfg.Affinity = true
+		r2, err := core.Run(env.CK34, 47, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		classic, wired = r1.TotalSeconds, r2.TotalSeconds
+		reduction, hitRate = r2.Wire.InputReduction, r2.Wire.CacheHitRate
+	}
+	b.ReportMetric(classic, "classic_sim_s")
+	b.ReportMetric(wired, "cached_batched_affinity_sim_s")
+	b.ReportMetric(reduction, "input_reduction_x")
+	b.ReportMetric(hitRate, "cache_hit_rate")
+}
+
 // BenchmarkMCPSC exercises the multi-criteria extension end to end: a
 // one-vs-all query with three methods partitioned over 12 slaves.
 func BenchmarkMCPSC(b *testing.B) {

@@ -8,7 +8,17 @@
 //
 //	rckalign [-dataset CK34|RS119] [-slaves N | -sweep] [-order FIFO|LPT|Random]
 //	         [-hierarchy H] [-cache DIR] [-fast] [-csv] [-faults SPEC]
-//	         [-metrics-out FILE] [-trace-out FILE] [-heatmap]
+//	         [-structcache N] [-batch K] [-tile T] [-affinity]
+//	         [-metrics-out FILE] [-trace-out FILE] [-scores-out FILE] [-heatmap]
+//
+// -structcache enables the slave-side structure-cache model (-1 derives
+// the per-slave capacity from the default memory budget), -batch bundles
+// up to K jobs per request message, -tile regroups the pair grid into
+// T x T blocks for cache locality, and -affinity pins whole blocks to
+// slaves. All four only re-frame the wire protocol: the TM-align scores
+// are bit-identical to the classic run, which -scores-out lets you check
+// by dumping every pair's scores deterministically (sorted by pair, full
+// float64 precision) for a byte-for-byte diff between configurations.
 //
 // -metrics-out dumps the run's metrics registry (counters, histograms,
 // time series from every simulation layer) as deterministic JSON;
@@ -35,6 +45,7 @@ import (
 	"rckalign/internal/farm"
 	"rckalign/internal/fault"
 	"rckalign/internal/metrics"
+	"rckalign/internal/rckskel"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
 	"rckalign/internal/synth"
@@ -57,6 +68,11 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. \"seed=1;kill=12@40;drop=*>0@p0.01\" (empty = no faults)")
 	deadline := flag.Float64("deadline", 0, "fault-tolerant per-job deadline in seconds (0 = derive from workload)")
 	polling := flag.Float64("polling", 1, "scale the master's per-collection polling discovery cost (0 = ideal event-driven, 1 = the paper's busy polling; large values emulate fine-grained jobs saturating the master)")
+	structCache := flag.Int("structcache", 0, "slave-side structure-cache capacity in structures (0 = off, the paper's wire; -1 = derive from the per-core memory budget)")
+	batch := flag.Int("batch", 0, "bundle up to this many jobs per request message (0 or 1 = one message per job)")
+	tile := flag.Int("tile", 0, "blocked pair-ordering tile size (0 = auto when caching/batching/affinity is on; -1 = force off)")
+	affinity := flag.Bool("affinity", false, "pin whole tile blocks to slaves (max cache reuse, coarser balance; fault-free runs only)")
+	scoresOut := flag.String("scores-out", "", "write the (last) run's per-pair TM-align scores, sorted by pair, to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot of the (last) run as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the (last) run to this file")
 	heatmap := flag.Bool("heatmap", false, "print the mesh link heatmap of the (last) run")
@@ -83,6 +99,10 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Hierarchy = *hierarchy
 	cfg.PollingScale = *polling
+	cfg.CacheStructs = *structCache
+	cfg.Batch = *batch
+	cfg.Tile = *tile
+	cfg.Affinity = *affinity
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec)
 		if err != nil {
@@ -114,10 +134,25 @@ func main() {
 		fmt.Sprintf("rckAlign all-vs-all on %s (serial P54C baseline: %.0f s)", ds.Name, baseline),
 		"Slave Cores", "Time (s)", "Speedup", "Efficiency", "Peak Mbox", "Worst Link Util")
 	cfg.ThreadsPerWorker = *threads
+	// Results travel the simulated farm as *tmalign.Result pointers, so a
+	// reverse index recovers each collected result's pair for -scores-out.
+	pairOf := make(map[*tmalign.Result]sched.Pair, len(pr.Pairs))
+	for k, r := range pr.Results {
+		pairOf[r] = pr.Pairs[k]
+	}
 	var rec *trace.Recorder
 	var reg *metrics.Registry
 	var lastRep farm.Report
+	var scores map[sched.Pair]*tmalign.Result
 	for _, n := range counts {
+		if *scoresOut != "" {
+			scores = make(map[sched.Pair]*tmalign.Result, len(pr.Pairs))
+			cfg.Collector = farm.CollectorFunc(func(r rckskel.Result) {
+				if res, ok := r.Payload.(*tmalign.Result); ok {
+					scores[pairOf[res]] = res
+				}
+			})
+		}
 		if *util || *traceOut != "" {
 			rec = trace.New()
 		}
@@ -157,6 +192,14 @@ func main() {
 		tb.AddRowf(n, rep.TotalSeconds, sp, sp/float64(rep.EffectiveCores),
 			fmt.Sprintf("%.0f", peakMbox), fmt.Sprintf("%.2e", worstUtil))
 		lastRep = rep
+		if w := rep.Wire; w != nil {
+			fmt.Fprintf(os.Stderr,
+				"wire (%d slaves): input %.2f MB -> %.2f MB (%.2fx reduction); cache cap=%d hit-rate=%.1f%% evictions=%d; "+
+					"batches=%d mean-jobs=%.1f max-jobs=%d\n",
+				n, float64(w.BaselineInputBytes)/1e6, float64(w.ShippedInputBytes)/1e6, w.InputReduction,
+				w.CacheCapacity, 100*w.CacheHitRate, w.CacheEvictions,
+				w.Batches, w.MeanBatchJobs, w.MaxBatchJobs)
+		}
 		if f := rep.Faults; f != nil {
 			fmt.Fprintf(os.Stderr,
 				"faults (%d slaves): injected kills=%d stalls=%d drops=%d delays=%d corruptions=%d; "+
@@ -187,6 +230,28 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "note: no link heatmap (mesh ran without contention modelling)")
 		}
+	}
+	if *scoresOut != "" {
+		err := writeFileWith(*scoresOut, func(w io.Writer) error {
+			// pr.Pairs is already in canonical all-vs-all order, so the dump
+			// is deterministic regardless of collection order; %.17g round-
+			// trips float64 exactly, making files diffable bit-for-bit.
+			for _, p := range pr.Pairs {
+				res, ok := scores[p]
+				if !ok {
+					continue // lost under a degraded fault run
+				}
+				if _, err := fmt.Fprintf(w, "%d %d %.17g %.17g %.17g %d %.17g\n",
+					p.I, p.J, res.TM1, res.TM2, res.RMSD, res.AlignedLen, res.SeqID); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d pair scores to %s\n", len(scores), *scoresOut)
 	}
 	if *metricsOut != "" {
 		if err := writeFileWith(*metricsOut, reg.WriteJSON); err != nil {

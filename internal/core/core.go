@@ -224,6 +224,32 @@ type Config struct {
 	// ThreadEfficiency is the per-thread scaling efficiency (default
 	// 0.9; DP and scoring parallelise well, the Kabsch solves less so).
 	ThreadEfficiency float64
+	// CacheStructs models the slave-side structure cache: the master
+	// ships a structure to a slave only when the slave's bounded LRU
+	// (of this many structures) does not already hold it, so a job's
+	// request size becomes header + miss bytes. < 0 derives the
+	// capacity from the per-core cache budget
+	// (costmodel.DefaultCacheBudgetBytes over the dataset's mean chain
+	// size); 0 disables the model — the paper's ship-both-structures
+	// wire. Flat path only (hierarchical/tiled runs reject it).
+	CacheStructs int
+	// Batch bundles up to Batch consecutive jobs into one request
+	// message with one batched result, amortizing the master's
+	// dispatch/collect overhead (0 or 1 = the paper's one message per
+	// job). Flat path only.
+	Batch int
+	// Tile is the blocked pair-ordering tile size in structures: after
+	// Order is applied, pairs are regrouped into Tile x Tile blocks of
+	// the pair grid so consecutive jobs reuse cached structures. 0 =
+	// sched.DefaultTile when the cache, batching or affinity is
+	// enabled (no blocking otherwise); < 0 forces blocking off.
+	Tile int
+	// Affinity assigns whole tile blocks to slaves (heaviest-first onto
+	// the least-loaded queue) and farms per-slave queues, so each
+	// block's structures ship to exactly one slave — maximum cache
+	// reuse at the price of coarser load balance. Fault-free flat path
+	// only (the per-slave-queue farm has no fault-tolerant variant).
+	Affinity bool
 	// Faults, when non-nil, arms the deterministic fault injector for
 	// the run and switches the master onto the fault-tolerant farm
 	// protocol. Only the flat single-master path supports faults; the
@@ -267,13 +293,73 @@ type RunResult struct {
 // Speedup returns base/this in time.
 func (r RunResult) Speedup(baseSeconds float64) float64 { return baseSeconds / r.TotalSeconds }
 
+// wireEnabled reports whether the run uses the cache/batch wire model.
+func (cfg Config) wireEnabled() bool {
+	return cfg.CacheStructs != 0 || cfg.Batch > 1 || cfg.Affinity
+}
+
+// cacheCapacity resolves Config.CacheStructs: positive capacities pass
+// through, negative ones derive from the default per-core cache budget
+// and the dataset's mean chain length, 0 stays disabled.
+func (cfg Config) cacheCapacity(lengths []int) int {
+	if cfg.CacheStructs >= 0 {
+		return cfg.CacheStructs
+	}
+	total := 0
+	for _, l := range lengths {
+		total += l
+	}
+	mean := 0
+	if len(lengths) > 0 {
+		mean = total / len(lengths)
+	}
+	return costmodel.CacheCapacityStructs(costmodel.DefaultCacheBudgetBytes, mean)
+}
+
+// tileSize resolves Config.Tile given the resolved cache capacity:
+// explicit values pass through, negative forces blocking off, and 0
+// auto-selects sched.DefaultTile when the wire model is on.
+func (cfg Config) tileSize(cacheCap int) int {
+	switch {
+	case cfg.Tile > 0:
+		return cfg.Tile
+	case cfg.Tile < 0:
+		return 0
+	case cacheCap > 0 || cfg.Batch > 1 || cfg.Affinity:
+		return sched.DefaultTile
+	}
+	return 0
+}
+
+// pairBytes is the classic request wire size of one pair: both
+// structures' coordinates.
+func pairBytes(lengths []int) func(sched.Pair) int {
+	return func(p sched.Pair) int {
+		return StructBytes(lengths[p.I]) + StructBytes(lengths[p.J])
+	}
+}
+
+// orderedPairs applies the config's ordering policy and then the
+// optional blocked tiling (tile > 1) to the pair list.
+func (cfg Config) orderedPairs(pr *PairResults, lengths []int, tile int) ([]sched.Pair, error) {
+	ordered, err := sched.Apply(pr.Pairs, cfg.Order, sched.LengthProductCost(lengths), cfg.OrderSeed)
+	if err != nil {
+		return nil, err
+	}
+	if tile > 1 {
+		ordered = sched.Blocked(ordered, tile)
+	}
+	return ordered, nil
+}
+
 // buildJobs orders the pair list per the config and converts it to
 // sized farm jobs.
-func (cfg Config) buildJobs(pr *PairResults, lengths []int) []rckskel.Job {
-	ordered := sched.Apply(pr.Pairs, cfg.Order, sched.LengthProductCost(lengths), cfg.OrderSeed)
-	return farm.BuildJobs(ordered, 0, func(p sched.Pair) int {
-		return StructBytes(lengths[p.I]) + StructBytes(lengths[p.J])
-	})
+func (cfg Config) buildJobs(pr *PairResults, lengths []int, tile int) ([]rckskel.Job, error) {
+	ordered, err := cfg.orderedPairs(pr, lengths, tile)
+	if err != nil {
+		return nil, err
+	}
+	return farm.BuildJobs(ordered, 0, pairBytes(lengths))
 }
 
 // Run simulates rckAlign on `slaves` slave cores (1..NumCores-1) and
@@ -291,23 +377,89 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 		if cfg.Faults != nil {
 			return RunResult{}, fmt.Errorf("core: hierarchical run: %w", farm.ErrFaultsUnsupported)
 		}
+		if cfg.wireEnabled() {
+			return RunResult{}, fmt.Errorf("core: hierarchical run does not support the cache/batch wire model")
+		}
 		return runHierarchical(pr, slaves, cfg)
 	}
-	s, err := farm.NewSession(cfg.session(slaves))
+	if cfg.Affinity && cfg.Faults != nil {
+		return RunResult{}, fmt.Errorf("core: affinity farming: %w", farm.ErrFaultsUnsupported)
+	}
+	lengths := pr.lengths()
+	cacheCap := cfg.cacheCapacity(lengths)
+	tile := cfg.tileSize(cacheCap)
+	fcfg := cfg.session(slaves)
+	fcfg.Batch = cfg.Batch
+	fcfg.CacheStructs = cacheCap
+	s, err := farm.NewSession(fcfg)
 	if err != nil {
 		return RunResult{}, err
 	}
-	lengths := pr.lengths()
-	jobs := cfg.buildJobs(pr, lengths)
 	opScale := s.Placement().OpScale
 	if cfg.Faults != nil && cfg.FT.JobDeadlineSeconds == 0 {
-		s.SetJobDeadline(DeriveJobDeadline(pr, cfg.Chip.CPU, opScale))
+		d := DeriveJobDeadline(pr, cfg.Chip.CPU, opScale)
+		if cfg.Batch > 1 {
+			// A batch is one fault-tolerance unit of up to Batch jobs:
+			// its deadline must cover them back to back.
+			d *= float64(cfg.Batch)
+		}
+		s.SetJobDeadline(d)
 	}
-	s.StartSlaves(func(job rckskel.Job) (any, costmodel.Counter, int) {
+	handler := func(job rckskel.Job) (any, costmodel.Counter, int) {
 		p := job.Payload.(sched.Pair)
 		res := pr.Get(p)
 		return res, res.Ops.Scaled(opScale), ResultBytes(res.Len2)
-	})
+	}
+	if cfg.Batch > 1 {
+		s.StartSlaves(farm.BatchHandler(handler))
+	} else {
+		s.StartSlaves(handler)
+	}
+	ordered, err := cfg.orderedPairs(pr, lengths, tile)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sizes := make([]int, len(lengths))
+	for i, l := range lengths {
+		sizes[i] = StructBytes(l)
+	}
+	wm := farm.WireModel{
+		StructsOf: func(j rckskel.Job) []int {
+			p := j.Payload.(sched.Pair)
+			return []int{p.I, p.J}
+		},
+		Sizes: sizes,
+	}
+	if cfg.Affinity {
+		queues, err := affinityQueues(s, ordered, lengths, tile, wm)
+		if err != nil {
+			return RunResult{}, err
+		}
+		rep, err := s.Run("", func(m *farm.Master) {
+			m.LoadResidues(pr.Dataset.TotalResidues())
+			queueOf := map[int]int{}
+			for w, lead := range s.Placement().WorkerLeads {
+				queueOf[lead] = w
+			}
+			heads := make([]int, len(queues))
+			m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
+				w := queueOf[slave]
+				if heads[w] >= len(queues[w]) {
+					return rckskel.Job{}, false
+				}
+				j := queues[w][heads[w]]
+				heads[w]++
+				return j, true
+			}, nil)
+			m.Terminate()
+		})
+		return RunResult{Report: rep}, err
+	}
+	jobs, err := farm.BuildJobs(ordered, 0, pairBytes(lengths))
+	if err != nil {
+		return RunResult{}, err
+	}
+	jobs = s.PrepareJobs(jobs, wm)
 	rep, err := s.Run("", func(m *farm.Master) {
 		// One-time load of every structure by the master (the design
 		// choice Experiment I validates).
@@ -316,6 +468,26 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 		m.Terminate()
 	})
 	return RunResult{Report: rep}, err
+}
+
+// affinityQueues deals the tile blocks of the ordered pair list onto
+// one job queue per placed worker and applies the session's wire shape
+// (cache sizing, batching) to each queue. Job IDs stay globally unique
+// across queues.
+func affinityQueues(s *farm.Session, ordered []sched.Pair, lengths []int, tile int, wm farm.WireModel) ([][]rckskel.Job, error) {
+	workers := len(s.Placement().WorkerLeads)
+	assign := sched.AffinityAssign(ordered, workers, tile, sched.LengthProductCost(lengths))
+	queues := make([][]rckskel.Job, len(assign))
+	idBase := 0
+	for w, ps := range assign {
+		jobs, err := farm.BuildJobs(ps, idBase, pairBytes(lengths))
+		if err != nil {
+			return nil, err
+		}
+		idBase += len(ps)
+		queues[w] = s.PrepareJobs(jobs, wm)
+	}
+	return queues, nil
 }
 
 // RunSweep simulates rckAlign for each slave count and returns the

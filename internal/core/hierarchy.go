@@ -46,7 +46,10 @@ func runHierarchical(pr *PairResults, slaves int, cfg Config) (RunResult, error)
 
 	ds := pr.Dataset
 	lengths := pr.lengths()
-	allJobs := cfg.buildJobs(pr, lengths)
+	allJobs, err := cfg.buildJobs(pr, lengths, 0)
+	if err != nil {
+		return RunResult{}, err
+	}
 
 	// Round-robin partition of the job list over sub-masters.
 	jobsOf := make([][]rckskel.Job, h)

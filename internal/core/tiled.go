@@ -129,9 +129,12 @@ func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, err
 		return n
 	}
 	jobsFor := func(pairs []sched.Pair) []rckskel.Job {
-		return farm.BuildJobs(pairs, 0, func(p sched.Pair) int {
-			return StructBytes(lengths[p.I]) + StructBytes(lengths[p.J])
-		})
+		jobs, err := farm.BuildJobs(pairs, 0, pairBytes(lengths))
+		if err != nil {
+			// StructBytes is strictly positive, so sizing cannot fail.
+			panic(err)
+		}
+		return jobs
 	}
 
 	out := TiledRunResult{Blocks: len(blocks)}

@@ -194,3 +194,33 @@ func AMD24() CPU {
 		Scale:                10.57,
 	}
 }
+
+// Slave-side structure-cache capacity model. An SCC core owns a private
+// DRAM partition (the paper's boards carry 32 MB per core); a slave can
+// dedicate part of it to keeping received structures resident so the
+// master need not re-ship them with every pair.
+
+// DefaultCacheBudgetBytes is the per-core memory a slave dedicates to
+// cached structures by default: 8 MiB, a quarter of the 32 MB private
+// DRAM partition, leaving the rest for the TM-align working set (DP
+// matrices, alignments) and the runtime.
+const DefaultCacheBudgetBytes = 8 << 20
+
+// StructResidentBytes models the memory one cached structure occupies
+// on a slave: the decoded CA coordinates (3 float64), per-residue
+// metadata, and index bookkeeping.
+func StructResidentBytes(residues int) int { return 64 + 32*residues }
+
+// CacheCapacityStructs converts a byte budget into an LRU capacity in
+// structures, sized by the dataset's mean chain length. The floor is 2:
+// a pair's two structures must fit or caching is meaningless.
+func CacheCapacityStructs(budgetBytes, meanResidues int) int {
+	if meanResidues < 1 {
+		meanResidues = 1
+	}
+	n := budgetBytes / StructResidentBytes(meanResidues)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -17,6 +17,7 @@ import (
 	"rckalign/internal/dist"
 	"rckalign/internal/fault"
 	"rckalign/internal/mcpsc"
+	"rckalign/internal/metrics"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
@@ -421,6 +422,79 @@ func ResilienceSweep(pr *core.PairResults) (*stats.Table, error) {
 	return tb, nil
 }
 
+// CacheBatchAblation quantifies the structure-cache + batched-dispatch
+// wire model on e.CK34 (and e.RS119 when loaded): input bytes over the
+// NoC, cache hit rate, and the makespan/mailbox effect at both the
+// paper's polling cost and the master-bottleneck regime (polling 1e5).
+func (e *Env) CacheBatchAblation() ([]*stats.Table, error) {
+	var out []*stats.Table
+	for _, pr := range []*core.PairResults{e.CK34, e.RS119} {
+		if pr == nil {
+			continue
+		}
+		tb, err := CacheBatchAblation(pr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// CacheBatchAblation is the underlying sweep over any workload (tests
+// use a synthetic CK34-sized one, see core.SynthPairResults): baseline
+// vs cached vs cached+batched vs cached+batched+affinity at 47 slaves.
+func CacheBatchAblation(pr *core.PairResults) (*stats.Table, error) {
+	const slaves = 47
+	// The classic wire ships both structures' coordinates per pair.
+	classicBytes := int64(0)
+	for _, p := range pr.Pairs {
+		classicBytes += int64(core.StructBytes(pr.Dataset.Structures[p.I].Len()) +
+			core.StructBytes(pr.Dataset.Structures[p.J].Len()))
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: structure caching + batched dispatch (%s all-vs-all, %d slaves)",
+			pr.Dataset.Name, slaves),
+		"Config", "Time (s)", "Time @1e5 poll", "Peak Mbox @1e5", "Input MB", "Reduction", "Hit rate")
+	for _, row := range []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"baseline", func(c *core.Config) {}},
+		{"cached", func(c *core.Config) { c.CacheStructs = -1 }},
+		{"cached+batched", func(c *core.Config) { c.CacheStructs = -1; c.Batch = 8 }},
+		{"cached+batched+affinity", func(c *core.Config) { c.CacheStructs = -1; c.Batch = 8; c.Affinity = true }},
+	} {
+		cfg := core.DefaultConfig()
+		row.mut(&cfg)
+		r, err := core.Run(pr, slaves, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfgP := cfg
+		cfgP.PollingScale = 1e5
+		cfgP.Metrics = metrics.New()
+		rp, err := core.Run(pr, slaves, cfgP)
+		if err != nil {
+			return nil, err
+		}
+		peak := 0.0
+		if rp.Metrics != nil {
+			peak = rp.Metrics.PeakMailboxDepth
+		}
+		inputMB := float64(classicBytes) / 1e6
+		reduction, hitRate := 1.0, "-"
+		if w := r.Wire; w != nil {
+			inputMB = float64(w.ShippedInputBytes) / 1e6
+			reduction = w.InputReduction
+			hitRate = fmt.Sprintf("%.1f%%", 100*w.CacheHitRate)
+		}
+		tb.AddRowf(row.name, r.TotalSeconds, rp.TotalSeconds,
+			fmt.Sprintf("%.0f", peak), inputMB, reduction, hitRate)
+	}
+	return tb, nil
+}
+
 // MCPSCPartitionAblation studies the paper's MC-PSC open question —
 // how to split the chip's cores among comparison methods of very
 // different complexity — by running a multi-criteria all-vs-all task
@@ -497,5 +571,12 @@ func (e *Env) WriteAll(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, rs.String())
+	cb, err := e.CacheBatchAblation()
+	if err != nil {
+		return err
+	}
+	for _, tb := range cb {
+		fmt.Fprintln(w, tb.String())
+	}
 	return nil
 }

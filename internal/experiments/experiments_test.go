@@ -191,6 +191,22 @@ func synthCK34() *core.PairResults {
 	return core.SynthPairResults("CK34-synth", lengths)
 }
 
+func TestCacheBatchAblation(t *testing.T) {
+	tb, err := CacheBatchAblation(synthCK34())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 4 {
+		t.Errorf("cache/batch ablation rows = %d, want 4", tb.NumRows())
+	}
+	out := tb.String()
+	for _, want := range []string{"baseline", "cached+batched+affinity", "Reduction", "Hit rate", "Peak Mbox"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cache/batch table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestResilienceSweep(t *testing.T) {
 	tb, err := ResilienceSweep(synthCK34())
 	if err != nil {

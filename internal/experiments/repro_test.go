@@ -1,13 +1,20 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
 	"rckalign/internal/dist"
+	"rckalign/internal/farm"
+	"rckalign/internal/fault"
+	"rckalign/internal/metrics"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/sched"
 	"rckalign/internal/tmalign"
 )
 
@@ -120,6 +127,121 @@ func TestReproductionRS119ScalesBetter(t *testing.T) {
 	// Paper: 44.78x; we lock [42, 47.01].
 	if spRS < 42 || spRS > 47.01 {
 		t.Errorf("RS119 47-slave speedup = %v, want ~45", spRS)
+	}
+}
+
+// runScores executes one CK34 run at 47 slaves and renders every
+// collected pair's scores as canonical full-precision lines, sorted by
+// pair — the golden form for bit-for-bit equivalence checks.
+func runScores(t *testing.T, pr *core.PairResults, mut func(*core.Config)) ([]string, core.RunResult) {
+	t.Helper()
+	pairOf := make(map[*tmalign.Result]sched.Pair, len(pr.Pairs))
+	for k, r := range pr.Results {
+		pairOf[r] = pr.Pairs[k]
+	}
+	got := map[sched.Pair]*tmalign.Result{}
+	cfg := core.DefaultConfig()
+	cfg.Collector = farm.CollectorFunc(func(r rckskel.Result) {
+		res := r.Payload.(*tmalign.Result)
+		got[pairOf[res]] = res
+	})
+	mut(&cfg)
+	run, err := core.Run(pr, 47, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, 0, len(pr.Pairs))
+	for _, p := range pr.Pairs { // canonical all-vs-all order
+		res, ok := got[p]
+		if !ok {
+			t.Fatalf("pair %v never collected", p)
+		}
+		lines = append(lines, fmt.Sprintf("%d %d %.17g %.17g %.17g %d %.17g",
+			p.I, p.J, res.TM1, res.TM2, res.RMSD, res.AlignedLen, res.SeqID))
+	}
+	return lines, run
+}
+
+// TestReproductionWireGoldenScores is this PR's acceptance test on the
+// real CK34 dataset: the cached/batched/affinity wire model must
+// produce byte-identical TM-align score dumps to the classic farm —
+// fault-free and under a FARMFT fault plan — while shipping >= 5x fewer
+// input bytes and relieving the master's mailbox in the heavy-polling
+// regime.
+func TestReproductionWireGoldenScores(t *testing.T) {
+	env, err := LoadCK34Only(cacheDir(t), tmalign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := env.CK34
+	classic, base := runScores(t, pr, func(*core.Config) {})
+	if len(classic) != 561 {
+		t.Fatalf("classic run scored %d of 561 pairs", len(classic))
+	}
+
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"cached", func(c *core.Config) { c.CacheStructs = -1 }},
+		{"cached+batched", func(c *core.Config) { c.CacheStructs = -1; c.Batch = 8 }},
+		{"cached+batched+affinity", func(c *core.Config) { c.CacheStructs = -1; c.Batch = 8; c.Affinity = true }},
+		{"cached+batched under faults", func(c *core.Config) {
+			c.CacheStructs = -1
+			c.Batch = 8
+			c.Faults = &fault.Plan{Seed: 5, Kills: []fault.CoreFailure{
+				{Core: 7, At: 0.3 * base.TotalSeconds},
+				{Core: 22, At: 0.55 * base.TotalSeconds},
+			}}
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			lines, run := runScores(t, pr, v.mut)
+			if !reflect.DeepEqual(lines, classic) {
+				for i := range lines {
+					if lines[i] != classic[i] {
+						t.Fatalf("score divergence at line %d:\n got %s\nwant %s", i, lines[i], classic[i])
+					}
+				}
+				t.Fatal("score dumps differ")
+			}
+			if run.Wire == nil {
+				t.Fatal("no wire report")
+			}
+		})
+	}
+
+	// Acceptance: >= 5x fewer input bytes over the NoC with the full
+	// cached+batched+affinity wire.
+	_, best := runScores(t, pr, func(c *core.Config) {
+		c.CacheStructs = -1
+		c.Batch = 8
+		c.Affinity = true
+	})
+	if best.Wire.InputReduction < 5 {
+		t.Errorf("CK34 input reduction = %.2fx, want >= 5x", best.Wire.InputReduction)
+	}
+
+	// Acceptance: lower peak master mailbox depth at polling 1e5.
+	peak := func(mut func(*core.Config)) float64 {
+		cfg := core.DefaultConfig()
+		cfg.PollingScale = 1e5
+		cfg.Metrics = metrics.New()
+		mut(&cfg)
+		r, err := core.Run(pr, 47, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics.PeakMailboxDepth
+	}
+	pBase := peak(func(*core.Config) {})
+	pBatched := peak(func(c *core.Config) { c.CacheStructs = -1; c.Batch = 8 })
+	if pBase <= 1 {
+		t.Fatalf("heavy polling did not congest the classic master (peak %v)", pBase)
+	}
+	if pBatched >= pBase {
+		t.Errorf("peak mailbox at polling 1e5: batched %v >= classic %v", pBatched, pBase)
 	}
 }
 

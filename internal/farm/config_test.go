@@ -52,8 +52,22 @@ func TestValidateJobs(t *testing.T) {
 	if err := farm.ValidateJobs([]rckskel.Job{}); !errors.Is(err, farm.ErrNoJobs) {
 		t.Errorf("empty jobs: %v", err)
 	}
-	if err := farm.ValidateJobs([]rckskel.Job{{ID: 1}}); err != nil {
-		t.Errorf("one job rejected: %v", err)
+	if err := farm.ValidateJobs([]rckskel.Job{{ID: 1, Bytes: 64}}); err != nil {
+		t.Errorf("one sized job rejected: %v", err)
+	}
+	// Zero or negative request sizes would silently corrupt the NoC
+	// transfer model; they are rejected with the rckskel typed error.
+	if err := farm.ValidateJobs([]rckskel.Job{{ID: 1}}); !errors.Is(err, rckskel.ErrJobBytes) {
+		t.Errorf("zero-byte job: err = %v, want ErrJobBytes", err)
+	}
+	if err := farm.ValidateJobs([]rckskel.Job{{ID: 1, Bytes: 64}, {ID: 2, Bytes: -3}}); !errors.Is(err, rckskel.ErrJobBytes) {
+		t.Errorf("negative-byte job: err = %v, want ErrJobBytes", err)
+	}
+	// A SizeFor job resolves its size per slave at dispatch; its static
+	// Bytes is not validated here.
+	dyn := []rckskel.Job{{ID: 3, SizeFor: func(int) int { return 8 }}}
+	if err := farm.ValidateJobs(dyn); err != nil {
+		t.Errorf("SizeFor job rejected: %v", err)
 	}
 }
 

@@ -120,6 +120,18 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Collector, when non-nil, observes every collected result.
 	Collector Collector
+	// Batch bundles up to this many consecutive jobs into one request
+	// message with one batched result (0 or 1 = one message per job,
+	// the classic protocol). Applied by PrepareJobs; slaves must then
+	// run a BatchHandler-wrapped handler.
+	Batch int
+	// CacheStructs enables the slave-side structure-cache model with
+	// this per-slave LRU capacity in structures: the master ships only
+	// the structures the target slave's modelled cache is missing, so
+	// request wire size becomes header + miss bytes. 0 disables the
+	// model (the paper's ship-both-structures wire). Applied by
+	// PrepareJobs.
+	CacheStructs int
 	// Faults, when non-nil, runs the session fault-tolerantly: the plan
 	// is injected (kills, stalls, link faults) and the farm uses
 	// deadline-based detection with retry, reassignment and
@@ -171,6 +183,9 @@ type Report struct {
 	// Metrics summarises the run's key observability signals (nil unless
 	// Config.Metrics was set).
 	Metrics *MetricsReport
+	// Wire summarises the cache/batch wire model: hit rate, input bytes
+	// saved, batch statistics (nil on classic runs).
+	Wire *WireReport
 }
 
 // MetricsReport is the Report block distilled from the metrics registry:
@@ -238,6 +253,14 @@ type Session struct {
 	rep      Report
 	injector *fault.Injector
 	ft       rckskel.FTStats
+
+	// Cache/batch wire model state (see batch.go / structcache.go).
+	cache          *StructCache
+	wire           wireStats
+	hBatchJobs     *metrics.Histogram
+	cDispatches    *metrics.Counter
+	cInputBaseline *metrics.Counter
+	cInputShipped  *metrics.Counter
 }
 
 // NewSession validates the configuration, builds the runtime, places
@@ -309,12 +332,17 @@ func (s *Session) Injector() *fault.Injector { return s.injector }
 // when the config left JobDeadlineSeconds at zero.
 func (s *Session) SetJobDeadline(seconds float64) { s.cfg.FT.JobDeadlineSeconds = seconds }
 
-// ValidateJobs rejects nil or empty job lists with ErrNoJobs; run
+// ValidateJobs rejects nil or empty job lists with ErrNoJobs and jobs
+// with a non-positive static wire size with rckskel.ErrJobBytes; run
 // paths call it before farming so a misconfigured experiment fails
-// loudly instead of simulating nothing.
+// loudly instead of simulating nothing (or simulating a corrupted
+// transfer model).
 func ValidateJobs(jobs []rckskel.Job) error {
 	if len(jobs) == 0 {
 		return fmt.Errorf("farm: %w", ErrNoJobs)
+	}
+	if err := rckskel.ValidateJobs(jobs); err != nil {
+		return fmt.Errorf("farm: %w", err)
 	}
 	return nil
 }
@@ -378,14 +406,33 @@ func (s *Session) StartSlavesWith(h func(core int) rckskel.Handler) {
 	s.Team().StartSlavesWith(h)
 }
 
-// Collect performs the session's result bookkeeping: it counts the
-// result and forwards it to the configured Collector. Farm and
+// Collect performs the session's result bookkeeping: batched results
+// are unwrapped into their per-job sub-results, each result is
+// counted, and forwarded to the configured Collector. Farm and
 // FarmDynamic call it for every result; run paths with bespoke
 // collection loops (the distributed baseline) call it directly.
-func (s *Session) Collect(r rckskel.Result) {
+func (s *Session) Collect(r rckskel.Result) { s.deliver(r, nil) }
+
+// deliver unwraps BatchResults (attributing sub-results to the
+// collecting slave) and routes every per-job result through the
+// session bookkeeping, the configured Collector, and the per-farm
+// extra callback. Collectors therefore observe exactly the same
+// result stream — same payloads, same order — as on a classic
+// one-message-per-job farm.
+func (s *Session) deliver(r rckskel.Result, extra func(rckskel.Result)) {
+	if br, ok := r.Payload.(BatchResult); ok {
+		for _, sub := range br.Results {
+			sub.Slave = r.Slave
+			s.deliver(sub, extra)
+		}
+		return
+	}
 	s.rep.Collected++
 	if s.cfg.Collector != nil {
 		s.cfg.Collector.Collect(r)
+	}
+	if extra != nil {
+		extra(r)
 	}
 }
 
@@ -463,6 +510,7 @@ func (s *Session) finalize() {
 		}
 		s.rep.Metrics = mr
 	}
+	s.rep.Wire = s.wireReport()
 	if s.injector != nil {
 		s.rep.Faults = &FaultStats{
 			Injected:          s.injector.Stats(),
@@ -528,12 +576,7 @@ func (m *Master) LoadResidues(n int) {
 // (may be nil). It returns this farm's statistics; the report
 // accumulates them across calls.
 func (m *Master) Farm(jobs []rckskel.Job, collect func(rckskel.Result)) rckskel.Stats {
-	wrapped := func(r rckskel.Result) {
-		m.s.Collect(r)
-		if collect != nil {
-			collect(r)
-		}
-	}
+	wrapped := func(r rckskel.Result) { m.s.deliver(r, collect) }
 	if m.s.FaultTolerant() {
 		st, ft := m.s.Team().FARMFT(m.P, jobs, m.s.cfg.FT, wrapped)
 		m.s.mergeStats(st)
@@ -566,10 +609,7 @@ func (m *Master) FarmDynamic(next func(slave int) (rckskel.Job, bool), collect f
 		panic("farm: FarmDynamic cannot run fault-tolerantly; reject the fault plan up front")
 	}
 	st := m.s.Team().FARMDynamic(m.P, next, func(r rckskel.Result) {
-		m.s.Collect(r)
-		if collect != nil {
-			collect(r)
-		}
+		m.s.deliver(r, collect)
 	})
 	m.s.mergeStats(st)
 	return st

@@ -79,17 +79,22 @@ func TestPlaceValidation(t *testing.T) {
 
 func TestPartitionContiguous(t *testing.T) {
 	cores := []int{1, 2, 3, 4, 5, 6}
-	got := PartitionContiguous(cores, []int{2, 1, 3})
+	got, err := PartitionContiguous(cores, []int{2, 1, 3})
+	if err != nil {
+		t.Fatalf("PartitionContiguous: %v", err)
+	}
 	want := [][]int{{1, 2}, {3}, {4, 5, 6}}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("PartitionContiguous = %v, want %v", got, want)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on size mismatch")
+	// Undersized, oversized (would previously slice out of bounds
+	// before the diagnostic) and negative partitions are all rejected
+	// up front with the typed error.
+	for _, sizes := range [][]int{{2, 1}, {2, 1, 9}, {7, -1}} {
+		if _, err := PartitionContiguous(cores, sizes); !errors.Is(err, ErrPartitionSizes) {
+			t.Errorf("PartitionContiguous(%v) err = %v, want ErrPartitionSizes", sizes, err)
 		}
-	}()
-	PartitionContiguous(cores, []int{2, 1})
+	}
 }
 
 func TestPartitionRoundRobin(t *testing.T) {
@@ -102,7 +107,10 @@ func TestPartitionRoundRobin(t *testing.T) {
 
 func TestBuildJobs(t *testing.T) {
 	pairs := []sched.Pair{{I: 0, J: 1}, {I: 0, J: 2}}
-	jobs := BuildJobs(pairs, 10, func(p sched.Pair) int { return p.I + p.J })
+	jobs, err := BuildJobs(pairs, 10, func(p sched.Pair) int { return p.I + p.J })
+	if err != nil {
+		t.Fatalf("BuildJobs: %v", err)
+	}
 	if len(jobs) != 2 {
 		t.Fatalf("got %d jobs", len(jobs))
 	}

@@ -1,0 +1,146 @@
+package farm
+
+import "rckalign/internal/metrics"
+
+// StructCache is the master-side model of the slaves' bounded structure
+// caches. Each slave keeps an LRU of up to `capacity` structures in its
+// private memory; when the master dispatches a job it consults this
+// model and ships only the structures the target slave is missing, so
+// the request wire size becomes header + miss bytes instead of both
+// structures every time.
+//
+// Determinism: the model is updated exactly once per dispatch, inside
+// the job's SizeFor hook, which the simulation invokes in deterministic
+// event order — so two identical runs see identical hit/miss sequences.
+// The fill is optimistic: a request the fault injector drops on the
+// wire still marks its structures resident, because the master has no
+// acknowledgement protocol to learn otherwise. That can only
+// under-charge the wire on the retry of a dropped job — a timing-model
+// approximation, never a correctness issue (the slave re-receives the
+// whole job either way).
+type StructCache struct {
+	capacity int
+	sizes    []int
+	slaves   map[int]*slaveLRU
+	stats    CacheStats
+
+	cHits, cMisses, cEvictions *metrics.Counter
+	cBytesShipped, cBytesSaved *metrics.Counter
+}
+
+// CacheStats counts what the structure-cache model did over a run.
+type CacheStats struct {
+	// Hits counts structure references served from a slave's cache.
+	Hits int64
+	// Misses counts structure references that had to ship coordinates.
+	Misses int64
+	// Evictions counts structures dropped from full caches.
+	Evictions int64
+	// BytesShipped sums the coordinate bytes actually sent (misses).
+	BytesShipped int64
+	// BytesSaved sums the coordinate bytes avoided (hits).
+	BytesSaved int64
+}
+
+// slaveLRU is one slave's resident set, least recently used first.
+type slaveLRU struct {
+	ids      []int
+	resident map[int]bool
+}
+
+func (l *slaveLRU) touch(id int) {
+	for i, v := range l.ids {
+		if v == id {
+			l.ids = append(append(l.ids[:i:i], l.ids[i+1:]...), id)
+			return
+		}
+	}
+}
+
+func (l *slaveLRU) remove(id int) {
+	for i, v := range l.ids {
+		if v == id {
+			l.ids = append(l.ids[:i:i], l.ids[i+1:]...)
+			delete(l.resident, id)
+			return
+		}
+	}
+}
+
+// NewStructCache builds the cache model: capacity structures per slave
+// (values below 2 are raised to 2 — a pair's two structures must fit),
+// sizes[i] giving structure i's coordinate wire size. reg may be nil.
+func NewStructCache(capacity int, sizes []int, reg *metrics.Registry) *StructCache {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &StructCache{
+		capacity:      capacity,
+		sizes:         sizes,
+		slaves:        map[int]*slaveLRU{},
+		cHits:         reg.Counter("farm.cache.hits"),
+		cMisses:       reg.Counter("farm.cache.misses"),
+		cEvictions:    reg.Counter("farm.cache.evictions"),
+		cBytesShipped: reg.Counter("farm.cache.bytes_shipped"),
+		cBytesSaved:   reg.Counter("farm.cache.bytes_saved"),
+	}
+}
+
+// Capacity returns the modelled per-slave capacity in structures.
+func (c *StructCache) Capacity() int { return c.capacity }
+
+// Stats returns the accumulated cache statistics.
+func (c *StructCache) Stats() CacheStats { return c.stats }
+
+// Request models shipping the given structures to a slave and returns
+// the coordinate bytes that must actually cross the NoC (the misses).
+// Hits are touched to most-recently-used; misses are inserted and the
+// LRU evicted down to capacity, preferring victims outside the current
+// request so one oversized batch cannot thrash itself.
+func (c *StructCache) Request(slave int, structs []int) int {
+	lru := c.slaves[slave]
+	if lru == nil {
+		lru = &slaveLRU{resident: map[int]bool{}}
+		c.slaves[slave] = lru
+	}
+	inReq := make(map[int]bool, len(structs))
+	ship := 0
+	for _, id := range structs {
+		inReq[id] = true
+		if lru.resident[id] {
+			c.stats.Hits++
+			c.stats.BytesSaved += int64(c.sizes[id])
+			c.cHits.Inc()
+			c.cBytesSaved.Add(float64(c.sizes[id]))
+			lru.touch(id)
+			continue
+		}
+		c.stats.Misses++
+		c.stats.BytesShipped += int64(c.sizes[id])
+		c.cMisses.Inc()
+		c.cBytesShipped.Add(float64(c.sizes[id]))
+		ship += c.sizes[id]
+		lru.ids = append(lru.ids, id)
+		lru.resident[id] = true
+	}
+	for len(lru.ids) > c.capacity {
+		victim := lru.ids[0]
+		for _, id := range lru.ids {
+			if !inReq[id] {
+				victim = id
+				break
+			}
+		}
+		lru.remove(victim)
+		c.stats.Evictions++
+		c.cEvictions.Inc()
+	}
+	return ship
+}
+
+// Resident reports whether the model holds the structure for the slave
+// (test hook).
+func (c *StructCache) Resident(slave, id int) bool {
+	lru := c.slaves[slave]
+	return lru != nil && lru.resident[id]
+}

@@ -1,0 +1,93 @@
+package farm
+
+import "testing"
+
+func TestStructCacheMissThenHit(t *testing.T) {
+	sizes := []int{100, 200, 300, 400}
+	c := NewStructCache(3, sizes, nil)
+	if got := c.Request(1, []int{0, 1}); got != 300 {
+		t.Errorf("cold request shipped %d bytes, want 300", got)
+	}
+	if got := c.Request(1, []int{0, 1}); got != 0 {
+		t.Errorf("warm request shipped %d bytes, want 0", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 hits / 2 misses", st)
+	}
+	if st.BytesShipped != 300 || st.BytesSaved != 300 {
+		t.Errorf("bytes = %+v", st)
+	}
+}
+
+func TestStructCachePerSlaveIndependence(t *testing.T) {
+	sizes := []int{10, 20}
+	c := NewStructCache(2, sizes, nil)
+	c.Request(0, []int{0, 1})
+	// Slave 3 has its own empty cache: full miss.
+	if got := c.Request(3, []int{0, 1}); got != 30 {
+		t.Errorf("other slave shipped %d bytes, want 30", got)
+	}
+	if !c.Resident(0, 0) || !c.Resident(3, 1) {
+		t.Error("residency not tracked per slave")
+	}
+	if c.Resident(7, 0) {
+		t.Error("untouched slave reports residency")
+	}
+}
+
+func TestStructCacheLRUEviction(t *testing.T) {
+	sizes := []int{1, 1, 1, 1, 1}
+	c := NewStructCache(2, sizes, nil)
+	c.Request(0, []int{0, 1}) // resident: {0,1}
+	c.Request(0, []int{2})    // evicts 0 (LRU) -> {1,2}
+	if c.Resident(0, 0) {
+		t.Error("structure 0 should have been evicted")
+	}
+	if !c.Resident(0, 1) || !c.Resident(0, 2) {
+		t.Error("expected {1,2} resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	// A hit refreshes recency: touch 1, then insert 3 -> 2 is the victim.
+	c.Request(0, []int{1})
+	c.Request(0, []int{3})
+	if c.Resident(0, 2) || !c.Resident(0, 1) || !c.Resident(0, 3) {
+		t.Error("touch did not refresh LRU order")
+	}
+}
+
+func TestStructCacheEvictionAvoidsCurrentRequest(t *testing.T) {
+	sizes := make([]int, 6)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	// Capacity 3, request 3 new structures while 3 others are resident:
+	// the victims must all come from the old set, never the request.
+	c := NewStructCache(3, sizes, nil)
+	c.Request(0, []int{0, 1, 2})
+	c.Request(0, []int{3, 4, 5})
+	for id := 3; id <= 5; id++ {
+		if !c.Resident(0, id) {
+			t.Errorf("structure %d from the current request was evicted", id)
+		}
+	}
+	for id := 0; id <= 2; id++ {
+		if c.Resident(0, id) {
+			t.Errorf("stale structure %d survived", id)
+		}
+	}
+}
+
+func TestStructCacheCapacityFloor(t *testing.T) {
+	c := NewStructCache(0, []int{1, 1}, nil)
+	if c.Capacity() != 2 {
+		t.Errorf("capacity = %d, want floor of 2", c.Capacity())
+	}
+	// Both structures of one pair must be able to coexist.
+	c.Request(0, []int{0, 1})
+	if !c.Resident(0, 0) || !c.Resident(0, 1) {
+		t.Error("a pair does not fit in the floored cache")
+	}
+}

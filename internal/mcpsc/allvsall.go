@@ -111,7 +111,11 @@ func RunAllVsAll(ds *synth.Dataset, methods []Method, partition []int, cfg RunCo
 		Similarity:      map[string][][]float64{},
 		SlavesPerMethod: map[string]int{},
 	}
-	for m, group := range farm.PartitionContiguous(slaveIDs, partition) {
+	groups, err := farm.PartitionContiguous(slaveIDs, partition)
+	if err != nil {
+		return AllVsAllResult{}, err
+	}
+	for m, group := range groups {
 		out.SlavesPerMethod[methods[m].Name()] = len(group)
 		for _, c := range group {
 			methodOf[c] = m
@@ -130,9 +134,12 @@ func RunAllVsAll(ds *synth.Dataset, methods []Method, partition []int, cfg RunCo
 
 	queues := make([][]rckskel.Job, len(methods))
 	for m := range methods {
-		queues[m] = farm.BuildJobs(pairs, m*len(pairs), func(p sched.Pair) int {
+		queues[m], err = farm.BuildJobs(pairs, m*len(pairs), func(p sched.Pair) int {
 			return core.StructBytes(ds.Structures[p.I].Len()) + core.StructBytes(ds.Structures[p.J].Len())
 		})
+		if err != nil {
+			return AllVsAllResult{}, err
+		}
 	}
 	heads := make([]int, len(methods))
 	cpu := cfg.Chip.CPU

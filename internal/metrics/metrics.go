@@ -201,6 +201,10 @@ var SizeBuckets = []float64{
 // HopBuckets covers mesh route lengths on a 6x4 grid (max 8 hops).
 var HopBuckets = []float64{1, 2, 3, 4, 5, 6, 7, 8}
 
+// CountBuckets is the power-of-two ladder for small cardinalities
+// (jobs per batch, structures per request).
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // Histogram counts observations into fixed buckets and tracks
 // count/sum/min/max exactly.
 type Histogram struct {

@@ -269,7 +269,7 @@ func (t *Team) FARMFT(p *sim.Process, jobs []Job, cfg FTConfig, collect func(Res
 				}
 				lastSlave[ji] = s
 				idle[s] = false
-				t.Comm.Send(p, t.Master, s, jobs[ji].Bytes, jobs[ji])
+				t.sendJob(p, s, jobs[ji])
 				deadline := math.Inf(1)
 				if cfg.JobDeadlineSeconds > 0 {
 					deadline = p.Now() + cfg.JobDeadlineSeconds

@@ -19,6 +19,7 @@
 package rckskel
 
 import (
+	"errors"
 	"fmt"
 
 	"rckalign/internal/costmodel"
@@ -28,6 +29,12 @@ import (
 	"rckalign/internal/trace"
 )
 
+// ErrJobBytes reports a job whose modelled request wire size is not
+// positive. A zero or negative size would silently corrupt the NoC
+// transfer model (rcce clamps instead of diagnosing), so job builders
+// and dispatch validate it up front.
+var ErrJobBytes = errors.New("rckskel: job request bytes must be positive")
+
 // Job is one unit of work dispatched to a slave core.
 type Job struct {
 	// ID identifies the job in results.
@@ -36,6 +43,25 @@ type Job struct {
 	Payload any
 	// Bytes is the modelled wire size of the request message.
 	Bytes int
+	// SizeFor, when non-nil, supplies the request's wire size for a
+	// specific slave at dispatch time, overriding Bytes. The cached
+	// farm uses it to ship only the structures a slave's modelled cache
+	// is missing. Dispatch calls it exactly once per send, in
+	// deterministic event order, so stateful size models (LRU caches)
+	// stay reproducible.
+	SizeFor func(slave int) int
+}
+
+// ValidateJobs rejects jobs whose static wire size is not positive
+// with ErrJobBytes. Jobs carrying a SizeFor hook are resolved per
+// slave at dispatch time and checked there instead.
+func ValidateJobs(jobs []Job) error {
+	for _, j := range jobs {
+		if j.SizeFor == nil && j.Bytes < 1 {
+			return fmt.Errorf("%w: job %d has %d bytes", ErrJobBytes, j.ID, j.Bytes)
+		}
+	}
+	return nil
 }
 
 // Result is a slave's answer to one job.
@@ -253,6 +279,23 @@ func (t *Team) Terminate(p *sim.Process) {
 	}
 }
 
+// sendJob dispatches one job request from the master to a slave,
+// resolving the wire size per slave when the job carries a SizeFor
+// hook. Every dispatch path (SEQ, PAR, FARM, FARMFT) funnels through
+// here so the size model and its validation are applied uniformly. A
+// non-positive resolved size is a modelling bug that would corrupt the
+// NoC transfer model; it fails loudly instead of being clamped.
+func (t *Team) sendJob(p *sim.Process, slave int, job Job) {
+	bytes := job.Bytes
+	if job.SizeFor != nil {
+		bytes = job.SizeFor(slave)
+	}
+	if bytes < 1 {
+		panic(fmt.Errorf("%w: job %d resolved to %d bytes for slave %d", ErrJobBytes, job.ID, bytes, slave))
+	}
+	t.Comm.Send(p, t.Master, slave, bytes, job)
+}
+
 // discoveryCost is the simulated time the master spends finding a ready
 // slave by round-robin flag polling: on average half a sweep over the
 // slave ring, ending at the ready slave.
@@ -304,7 +347,7 @@ func (t *Team) SEQ(p *sim.Process, jobs []Job, collect func(Result)) Stats {
 	start := p.Now()
 	for k, job := range jobs {
 		slave := t.Slaves[k%len(t.Slaves)]
-		t.Comm.Send(p, t.Master, slave, job.Bytes, job)
+		t.sendJob(p, slave, job)
 		res := t.collectOne(p, &st)
 		if collect != nil {
 			collect(res)
@@ -323,7 +366,7 @@ func (t *Team) PAR(p *sim.Process, jobs []Job) {
 		panic(fmt.Sprintf("rckskel: PAR got %d jobs for %d slaves", len(jobs), len(t.Slaves)))
 	}
 	for k, job := range jobs {
-		t.Comm.Send(p, t.Master, t.Slaves[k], job.Bytes, job)
+		t.sendJob(p, t.Slaves[k], job)
 	}
 }
 
@@ -368,7 +411,7 @@ func (t *Team) FARMDynamic(p *sim.Process, next func(slave int) (Job, bool), col
 	outstanding := 0
 	for _, slave := range t.Slaves {
 		if job, ok := next(slave); ok {
-			t.Comm.Send(p, t.Master, slave, job.Bytes, job)
+			t.sendJob(p, slave, job)
 			outstanding++
 		}
 	}
@@ -378,7 +421,7 @@ func (t *Team) FARMDynamic(p *sim.Process, next func(slave int) (Job, bool), col
 			collect(res)
 		}
 		if job, ok := next(res.Slave); ok {
-			t.Comm.Send(p, t.Master, res.Slave, job.Bytes, job)
+			t.sendJob(p, res.Slave, job)
 			outstanding++
 		}
 	}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// pairSet returns the multiset of pairs as a map for permutation checks.
+func pairSet(t *testing.T, pairs []Pair) map[Pair]int {
+	t.Helper()
+	m := map[Pair]int{}
+	for _, p := range pairs {
+		m[p]++
+	}
+	return m
+}
+
+func TestBlockedIsAPermutation(t *testing.T) {
+	in := AllVsAll(34)
+	out := Blocked(in, 6)
+	if len(out) != len(in) {
+		t.Fatalf("Blocked returned %d pairs, want %d", len(out), len(in))
+	}
+	if !reflect.DeepEqual(pairSet(t, in), pairSet(t, out)) {
+		t.Fatal("Blocked is not a permutation of its input")
+	}
+	// Must be a copy, not an alias.
+	out[0] = Pair{99, 99}
+	if in[0] == out[0] {
+		t.Error("Blocked returned an alias")
+	}
+}
+
+func TestBlockedGroupsTiles(t *testing.T) {
+	const tile = 4
+	out := Blocked(AllVsAll(13), tile)
+	// Every block's pairs must be contiguous: once we leave a block we
+	// must never see it again.
+	seen := map[blockKey]bool{}
+	last := blockKey{-1, -1}
+	for _, p := range out {
+		k := blockOf(p, tile)
+		if k != last {
+			if seen[k] {
+				t.Fatalf("block %v appears twice in the emission order", k)
+			}
+			seen[k] = true
+			last = k
+		}
+	}
+	// Consecutive pairs within a block reference at most 2*tile
+	// distinct structures — the cache-locality property.
+	byBlock := map[blockKey]map[int]bool{}
+	for _, p := range out {
+		k := blockOf(p, tile)
+		if byBlock[k] == nil {
+			byBlock[k] = map[int]bool{}
+		}
+		byBlock[k][p.I] = true
+		byBlock[k][p.J] = true
+	}
+	for k, structs := range byBlock {
+		if len(structs) > 2*tile {
+			t.Errorf("block %v touches %d structures, want <= %d", k, len(structs), 2*tile)
+		}
+	}
+}
+
+func TestBlockedSmallTilePassthrough(t *testing.T) {
+	in := AllVsAll(8)
+	for _, tile := range []int{0, 1, -3} {
+		out := Blocked(in, tile)
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("Blocked(tile=%d) reordered the input", tile)
+		}
+	}
+}
+
+func TestBlockedDeterministic(t *testing.T) {
+	in := AllVsAll(21)
+	a := Blocked(in, 5)
+	b := Blocked(in, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Blocked is not deterministic")
+	}
+}
+
+func TestAffinityAssignCoversEveryPairOnce(t *testing.T) {
+	in := AllVsAll(34)
+	queues := AffinityAssign(in, 47, 6, nil)
+	if len(queues) != 47 {
+		t.Fatalf("got %d queues, want 47", len(queues))
+	}
+	var flat []Pair
+	for _, q := range queues {
+		flat = append(flat, q...)
+	}
+	if len(flat) != len(in) {
+		t.Fatalf("queues hold %d pairs, want %d", len(flat), len(in))
+	}
+	if !reflect.DeepEqual(pairSet(t, in), pairSet(t, flat)) {
+		t.Fatal("affinity queues are not a partition of the pair list")
+	}
+}
+
+func TestAffinityAssignKeepsBlocksWhole(t *testing.T) {
+	const tile = 6
+	queues := AffinityAssign(AllVsAll(34), 47, tile, nil)
+	owner := map[blockKey]int{}
+	for q, ps := range queues {
+		for _, p := range ps {
+			k := blockOf(p, tile)
+			if prev, ok := owner[k]; ok && prev != q {
+				t.Fatalf("block %v split across queues %d and %d", k, prev, q)
+			}
+			owner[k] = q
+		}
+	}
+}
+
+func TestAffinityAssignBalancesByCost(t *testing.T) {
+	lengths := make([]int, 24)
+	for i := range lengths {
+		lengths[i] = 50 + 10*i
+	}
+	cost := LengthProductCost(lengths)
+	queues := AffinityAssign(AllVsAll(24), 4, 6, cost)
+	loads := make([]float64, len(queues))
+	total := 0.0
+	for q, ps := range queues {
+		for _, p := range ps {
+			loads[q] += cost(p)
+			total += cost(p)
+		}
+	}
+	// Heaviest-first onto least-loaded: no queue should exceed twice
+	// the ideal share on this well-divisible workload.
+	ideal := total / float64(len(queues))
+	for q, l := range loads {
+		if l > 2*ideal {
+			t.Errorf("queue %d load %.0f exceeds 2x ideal %.0f", q, l, ideal)
+		}
+	}
+}
+
+func TestAffinityAssignDeterministic(t *testing.T) {
+	in := AllVsAll(19)
+	a := AffinityAssign(in, 7, 4, nil)
+	b := AffinityAssign(in, 7, 4, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("AffinityAssign is not deterministic")
+	}
+}
+
+func TestAffinityAssignDegenerate(t *testing.T) {
+	if q := AffinityAssign(AllVsAll(5), 0, 2, nil); q != nil {
+		t.Errorf("0 slaves: got %v", q)
+	}
+	q := AffinityAssign(nil, 3, 2, nil)
+	if len(q) != 3 || len(q[0])+len(q[1])+len(q[2]) != 0 {
+		t.Errorf("empty pairs: got %v", q)
+	}
+	// tile < 2: everything lands on one queue.
+	q = AffinityAssign(AllVsAll(6), 3, 1, nil)
+	if len(q[0]) != 15 || len(q[1]) != 0 {
+		t.Errorf("tile<2: got lens %d,%d,%d", len(q[0]), len(q[1]), len(q[2]))
+	}
+}

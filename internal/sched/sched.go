@@ -6,9 +6,15 @@
 package sched
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 )
+
+// ErrNilCost reports an ordering policy that needs a cost estimator
+// (LPT, SPT) invoked without one.
+var ErrNilCost = errors.New("sched: ordering needs a cost estimator")
 
 // Pair indexes two structures in a dataset (I < J for all-vs-all).
 type Pair struct{ I, J int }
@@ -72,20 +78,47 @@ func (o Order) String() string {
 
 // Apply returns a new slice with pairs arranged according to the policy.
 // cost estimates a job's duration (used by LPT/SPT; may be nil for FIFO
-// and Random). seed drives Random.
-func Apply(pairs []Pair, o Order, cost func(Pair) float64, seed int64) []Pair {
+// and Random). seed drives Random. LPT/SPT evaluate cost exactly once
+// per pair and sort on the precomputed keys; a missing estimator is
+// reported as ErrNilCost.
+func Apply(pairs []Pair, o Order, cost func(Pair) float64, seed int64) ([]Pair, error) {
 	out := append([]Pair(nil), pairs...)
 	switch o {
 	case FIFO:
-	case LPT:
-		sort.SliceStable(out, func(a, b int) bool { return cost(out[a]) > cost(out[b]) })
-	case SPT:
-		sort.SliceStable(out, func(a, b int) bool { return cost(out[a]) < cost(out[b]) })
+	case LPT, SPT:
+		if cost == nil {
+			return nil, fmt.Errorf("%w: %s over %d pairs", ErrNilCost, o, len(out))
+		}
+		keys := make([]float64, len(out))
+		for i, p := range out {
+			keys[i] = cost(p)
+		}
+		sortByKeys(out, keys, o == LPT)
 	case Random:
 		rng := rand.New(rand.NewSource(seed))
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	}
-	return out
+	return out, nil
+}
+
+// sortByKeys stably reorders pairs by their precomputed keys,
+// descending when desc (LPT) and ascending otherwise (SPT).
+func sortByKeys(pairs []Pair, keys []float64, desc bool) {
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if desc {
+			return keys[idx[a]] > keys[idx[b]]
+		}
+		return keys[idx[a]] < keys[idx[b]]
+	})
+	sorted := make([]Pair, len(pairs))
+	for i, j := range idx {
+		sorted[i] = pairs[j]
+	}
+	copy(pairs, sorted)
 }
 
 // LengthProductCost returns a cost estimator proportional to L_i * L_j,

@@ -1,9 +1,53 @@
 package sched
 
 import (
+	"errors"
 	"sort"
 	"testing"
 )
+
+// mustApply is the test shorthand for orderings that cannot fail.
+func mustApply(t *testing.T, pairs []Pair, o Order, cost func(Pair) float64, seed int64) []Pair {
+	t.Helper()
+	out, err := Apply(pairs, o, cost, seed)
+	if err != nil {
+		t.Fatalf("Apply(%s): %v", o, err)
+	}
+	return out
+}
+
+func TestApplyNilCostTypedError(t *testing.T) {
+	for _, o := range []Order{LPT, SPT} {
+		if _, err := Apply(AllVsAll(4), o, nil, 0); !errors.Is(err, ErrNilCost) {
+			t.Errorf("Apply(%s, nil cost) err = %v, want ErrNilCost", o, err)
+		}
+	}
+	// FIFO and Random never consult cost.
+	if _, err := Apply(AllVsAll(4), FIFO, nil, 0); err != nil {
+		t.Errorf("Apply(FIFO, nil cost) err = %v", err)
+	}
+	if _, err := Apply(AllVsAll(4), Random, nil, 7); err != nil {
+		t.Errorf("Apply(Random, nil cost) err = %v", err)
+	}
+}
+
+func TestApplyEvaluatesCostOncePerPair(t *testing.T) {
+	pairs := AllVsAll(20) // 190 pairs: a comparator-driven cost would be called ~O(P log P) times
+	calls := 0
+	cost := func(p Pair) float64 {
+		calls++
+		return float64(p.I*100 + p.J)
+	}
+	mustApply(t, pairs, LPT, cost, 0)
+	if calls != len(pairs) {
+		t.Errorf("LPT evaluated cost %d times for %d pairs, want exactly one call per pair", calls, len(pairs))
+	}
+	calls = 0
+	mustApply(t, pairs, SPT, cost, 0)
+	if calls != len(pairs) {
+		t.Errorf("SPT evaluated cost %d times for %d pairs, want exactly one call per pair", calls, len(pairs))
+	}
+}
 
 func TestAllVsAll(t *testing.T) {
 	pairs := AllVsAll(5)
@@ -49,7 +93,7 @@ func TestOneVsAll(t *testing.T) {
 
 func TestApplyFIFOKeepsOrder(t *testing.T) {
 	in := AllVsAll(6)
-	out := Apply(in, FIFO, nil, 0)
+	out := mustApply(t, in, FIFO, nil, 0)
 	for i := range in {
 		if out[i] != in[i] {
 			t.Fatal("FIFO reordered jobs")
@@ -66,7 +110,7 @@ func TestApplyLPT(t *testing.T) {
 	lengths := []int{10, 100, 50, 20}
 	pairs := AllVsAll(4)
 	cost := LengthProductCost(lengths)
-	out := Apply(pairs, LPT, cost, 0)
+	out := mustApply(t, pairs, LPT, cost, 0)
 	for i := 1; i < len(out); i++ {
 		if cost(out[i-1]) < cost(out[i]) {
 			t.Fatalf("LPT not descending at %d: %v", i, out)
@@ -81,7 +125,7 @@ func TestApplyLPT(t *testing.T) {
 func TestApplySPT(t *testing.T) {
 	lengths := []int{10, 100, 50, 20}
 	cost := LengthProductCost(lengths)
-	out := Apply(AllVsAll(4), SPT, cost, 0)
+	out := mustApply(t, AllVsAll(4), SPT, cost, 0)
 	for i := 1; i < len(out); i++ {
 		if cost(out[i-1]) > cost(out[i]) {
 			t.Fatalf("SPT not ascending: %v", out)
@@ -91,9 +135,9 @@ func TestApplySPT(t *testing.T) {
 
 func TestApplyRandomDeterministicPermutation(t *testing.T) {
 	in := AllVsAll(8)
-	a := Apply(in, Random, nil, 42)
-	b := Apply(in, Random, nil, 42)
-	c := Apply(in, Random, nil, 43)
+	a := mustApply(t, in, Random, nil, 42)
+	b := mustApply(t, in, Random, nil, 42)
+	c := mustApply(t, in, Random, nil, 43)
 	sameAsA := true
 	for i := range a {
 		if a[i] != b[i] {
