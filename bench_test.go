@@ -10,14 +10,17 @@ package rckalign
 // native recomputation, which takes minutes of host CPU for RS119).
 
 import (
+	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
 	"rckalign/internal/dist"
 	"rckalign/internal/experiments"
 	"rckalign/internal/mcpsc"
+	"rckalign/internal/pairstore"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
 	"rckalign/internal/sim"
@@ -258,6 +261,59 @@ func BenchmarkMCPSC(b *testing.B) {
 		simS = r.TotalSeconds
 	}
 	b.ReportMetric(simS, "mcpsc_sim_s")
+}
+
+// BenchmarkPairStore measures what the memoized pair store buys a
+// multi-config sweep: a CK34 multi-criteria all-vs-all run repeated at
+// four slave counts, seed (no store: every sweep point re-computes all
+// native kernels inline) vs store (one shared pairstore: each kernel is
+// computed once, later points replay memoized scores). Simulated
+// makespans are asserted identical — the store moves host wall-clock
+// time only. Run with -benchtime=1x; the host-seconds metrics feed
+// BENCH_pr5.json, where speedup_x must stay >= 2.
+func BenchmarkPairStore(b *testing.B) {
+	ds := synth.CK34()
+	methods := []mcpsc.Method{
+		mcpsc.TMAlign{Opt: tmalign.FastOptions()},
+		mcpsc.GaplessRMSD{},
+		mcpsc.ContactOverlap{},
+	}
+	counts := []int{12, 24, 36, 47}
+	sweep := func(cfg mcpsc.RunConfig) []float64 {
+		sims := make([]float64, 0, len(counts))
+		for _, n := range counts {
+			r, err := mcpsc.RunAllVsAll(ds, methods, mcpsc.EqualPartition(len(methods), n), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims = append(sims, r.TotalSeconds)
+		}
+		return sims
+	}
+	var seedS, storeS, speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		seedSims := sweep(mcpsc.DefaultRunConfig())
+		seedS = time.Since(t0).Seconds()
+
+		cfg := mcpsc.DefaultRunConfig()
+		cfg.Store = pairstore.New(0)
+		t1 := time.Now()
+		storeSims := sweep(cfg)
+		storeS = time.Since(t1).Seconds()
+
+		for k := range seedSims {
+			if math.Float64bits(seedSims[k]) != math.Float64bits(storeSims[k]) {
+				b.Fatalf("%d slaves: simulated makespan changed under the store: %v vs %v",
+					counts[k], seedSims[k], storeSims[k])
+			}
+		}
+		speedup = seedS / storeS
+	}
+	b.ReportMetric(seedS, "seed_host_s")
+	b.ReportMetric(storeS, "store_host_s")
+	b.ReportMetric(speedup, "speedup_x")
 }
 
 // BenchmarkPairCompare measures one native TM-align comparison of

@@ -8,7 +8,7 @@
 //
 //	rckalign [-dataset CK34|RS119] [-slaves N | -sweep] [-order FIFO|LPT|Random]
 //	         [-hierarchy H] [-cache DIR] [-fast] [-csv] [-faults SPEC]
-//	         [-structcache N] [-batch K] [-tile T] [-affinity]
+//	         [-structcache N] [-batch K] [-tile T] [-affinity] [-hostpar N]
 //	         [-metrics-out FILE] [-trace-out FILE] [-scores-out FILE] [-heatmap]
 //
 // -structcache enables the slave-side structure-cache model (-1 derives
@@ -19,6 +19,11 @@
 // are bit-identical to the classic run, which -scores-out lets you check
 // by dumping every pair's scores deterministically (sorted by pair, full
 // float64 precision) for a byte-for-byte diff between configurations.
+//
+// -hostpar fans the native TM-align evaluation on a pair-cache miss out
+// over N host worker goroutines via a memoized pair store. It only
+// moves host wall-clock time: simulated timings, reports, metrics and
+// -scores-out dumps are bit-identical for every N (0 = serial).
 //
 // -metrics-out dumps the run's metrics registry (counters, histograms,
 // time series from every simulation layer) as deterministic JSON;
@@ -38,6 +43,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"rckalign/internal/core"
@@ -45,6 +51,7 @@ import (
 	"rckalign/internal/farm"
 	"rckalign/internal/fault"
 	"rckalign/internal/metrics"
+	"rckalign/internal/pairstore"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
@@ -52,6 +59,67 @@ import (
 	"rckalign/internal/tmalign"
 	"rckalign/internal/trace"
 )
+
+// cliFlags gathers the numeric/enum flag values that validateFlags
+// checks before any work starts.
+type cliFlags struct {
+	Slaves      int
+	Sweep       bool
+	Order       string
+	Hierarchy   int
+	Threads     int
+	MemBudget   int
+	Deadline    float64
+	Polling     float64
+	StructCache int
+	Batch       int
+	Tile        int
+	HostPar     int
+}
+
+// validateFlags rejects out-of-range flag values with a one-line
+// diagnostic before the dataset is even loaded, and resolves the job
+// ordering. Values with documented sentinel semantics (-structcache -1,
+// -tile -1, -batch 0, -polling 0) stay valid.
+func validateFlags(f cliFlags) (sched.Order, error) {
+	ord, ok := map[string]sched.Order{
+		"FIFO": sched.FIFO, "LPT": sched.LPT, "SPT": sched.SPT, "RANDOM": sched.Random,
+	}[strings.ToUpper(f.Order)]
+	if !ok {
+		return 0, fmt.Errorf("-order %q is not FIFO, LPT, SPT or Random", f.Order)
+	}
+	if !f.Sweep && (f.Slaves < 1 || f.Slaves > 47) {
+		return 0, fmt.Errorf("-slaves %d outside [1,47]", f.Slaves)
+	}
+	if f.Hierarchy < 0 {
+		return 0, fmt.Errorf("-hierarchy %d is negative", f.Hierarchy)
+	}
+	if f.Threads < 1 {
+		return 0, fmt.Errorf("-threads %d below 1", f.Threads)
+	}
+	if f.MemBudget < 0 {
+		return 0, fmt.Errorf("-membudget %d is negative", f.MemBudget)
+	}
+	if f.Deadline < 0 {
+		return 0, fmt.Errorf("-deadline %g is negative", f.Deadline)
+	}
+	if f.Polling < 0 {
+		return 0, fmt.Errorf("-polling %g is negative", f.Polling)
+	}
+	if f.StructCache < -1 {
+		return 0, fmt.Errorf("-structcache %d below -1 (-1 = derive, 0 = off)", f.StructCache)
+	}
+	if f.Batch < 0 {
+		return 0, fmt.Errorf("-batch %d is negative (0 or 1 = one message per job)", f.Batch)
+	}
+	if f.Tile < -1 {
+		return 0, fmt.Errorf("-tile %d below -1 (-1 = force off, 0 = auto)", f.Tile)
+	}
+	if f.HostPar < 0 {
+		return 0, fmt.Errorf("-hostpar %d is negative (0 = serial host evaluation)", f.HostPar)
+	}
+	return ord, nil
+}
 
 func main() {
 	dataset := flag.String("dataset", "CK34", "dataset: CK34 or RS119")
@@ -76,11 +144,22 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot of the (last) run as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the (last) run to this file")
 	heatmap := flag.Bool("heatmap", false, "print the mesh link heatmap of the (last) run")
+	hostpar := flag.Int("hostpar", runtime.GOMAXPROCS(0), "host worker goroutines for native pair evaluation on a cache miss (0 = serial; simulated results are identical either way)")
 	flag.Parse()
+
+	ord, err := validateFlags(cliFlags{
+		Slaves: *slaves, Sweep: *sweep, Order: *order, Hierarchy: *hierarchy,
+		Threads: *threads, MemBudget: *memBudget, Deadline: *deadline,
+		Polling: *polling, StructCache: *structCache, Batch: *batch,
+		Tile: *tile, HostPar: *hostpar,
+	})
+	if err != nil {
+		usageFatal(err)
+	}
 
 	ds, err := synth.ByName(*dataset)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 	opt := tmalign.DefaultOptions()
 	if *fast {
@@ -90,8 +169,14 @@ func main() {
 	if *cacheDir != "" {
 		cachePath = filepath.Join(*cacheDir, ds.Name+".gob")
 	}
+	// -hostpar 0 means serial host evaluation; the store still memoizes.
+	workers := *hostpar
+	if workers == 0 {
+		workers = 1
+	}
+	store := pairstore.New(workers)
 	fmt.Fprintf(os.Stderr, "loading %s (%d chains, %d pairs)...\n", ds.Name, ds.Len(), ds.Pairs())
-	pr, err := core.ComputeOrLoad(ds, opt, cachePath, 0)
+	pr, err := core.ComputeOrLoadShared(ds, opt, cachePath, store)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,18 +196,7 @@ func main() {
 		cfg.Faults = plan
 		cfg.FT.JobDeadlineSeconds = *deadline
 	}
-	switch strings.ToUpper(*order) {
-	case "FIFO":
-		cfg.Order = sched.FIFO
-	case "LPT":
-		cfg.Order = sched.LPT
-	case "SPT":
-		cfg.Order = sched.SPT
-	case "RANDOM":
-		cfg.Order = sched.Random
-	default:
-		fatal(fmt.Errorf("unknown order %q", *order))
-	}
+	cfg.Order = ord
 
 	baseline := pr.SerialSeconds(costmodel.P54C())
 	counts := []int{*slaves}
@@ -282,4 +356,12 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rckalign:", err)
 	os.Exit(1)
+}
+
+// usageFatal reports a flag-validation problem: one line on stderr and
+// exit code 2, the conventional bad-usage status (matching what the
+// flag package itself uses for unparseable flags).
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "rckalign:", err)
+	os.Exit(2)
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rckalign/internal/sched"
+)
+
+// valid returns a flag set that passes validation; tests mutate one
+// field at a time.
+func valid() cliFlags {
+	return cliFlags{Slaves: 47, Order: "FIFO", Threads: 1, Polling: 1}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*cliFlags)
+		wantErr string // substring of the one-line diagnostic; "" = valid
+	}{
+		{"defaults", func(f *cliFlags) {}, ""},
+		{"order lpt lowercase", func(f *cliFlags) { f.Order = "lpt" }, ""},
+		{"order unknown", func(f *cliFlags) { f.Order = "LIFO" }, "-order"},
+		{"slaves zero", func(f *cliFlags) { f.Slaves = 0 }, "-slaves"},
+		{"slaves too many", func(f *cliFlags) { f.Slaves = 48 }, "-slaves"},
+		{"slaves ignored under sweep", func(f *cliFlags) { f.Slaves = 0; f.Sweep = true }, ""},
+		{"hierarchy negative", func(f *cliFlags) { f.Hierarchy = -1 }, "-hierarchy"},
+		{"threads zero", func(f *cliFlags) { f.Threads = 0 }, "-threads"},
+		{"membudget negative", func(f *cliFlags) { f.MemBudget = -5 }, "-membudget"},
+		{"deadline negative", func(f *cliFlags) { f.Deadline = -1 }, "-deadline"},
+		{"polling negative", func(f *cliFlags) { f.Polling = -0.5 }, "-polling"},
+		{"polling zero is the event-driven ablation", func(f *cliFlags) { f.Polling = 0 }, ""},
+		{"structcache derive sentinel", func(f *cliFlags) { f.StructCache = -1 }, ""},
+		{"structcache below sentinel", func(f *cliFlags) { f.StructCache = -2 }, "-structcache"},
+		{"batch zero is classic wire", func(f *cliFlags) { f.Batch = 0 }, ""},
+		{"batch negative", func(f *cliFlags) { f.Batch = -1 }, "-batch"},
+		{"tile force-off sentinel", func(f *cliFlags) { f.Tile = -1 }, ""},
+		{"tile below sentinel", func(f *cliFlags) { f.Tile = -2 }, "-tile"},
+		{"hostpar zero is serial", func(f *cliFlags) { f.HostPar = 0 }, ""},
+		{"hostpar negative", func(f *cliFlags) { f.HostPar = -4 }, "-hostpar"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := valid()
+			tc.mut(&f)
+			_, err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want ok", f, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%+v) accepted, want error naming %s", f, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name the flag %s", err, tc.wantErr)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Errorf("diagnostic is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestValidateFlagsResolvesOrder(t *testing.T) {
+	for in, want := range map[string]sched.Order{
+		"FIFO": sched.FIFO, "fifo": sched.FIFO,
+		"LPT": sched.LPT, "SPT": sched.SPT, "Random": sched.Random,
+	} {
+		f := valid()
+		f.Order = in
+		got, err := validateFlags(f)
+		if err != nil {
+			t.Errorf("order %q rejected: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("order %q resolved to %v, want %v", in, got, want)
+		}
+	}
+}

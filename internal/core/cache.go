@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"rckalign/internal/costmodel"
+	"rckalign/internal/pairstore"
 	"rckalign/internal/sched"
 	"rckalign/internal/synth"
 	"rckalign/internal/tmalign"
@@ -122,12 +123,21 @@ func LoadPairResults(ds *synth.Dataset, path string) (*PairResults, error) {
 // path, otherwise computes natively and writes the cache. An empty path
 // disables caching.
 func ComputeOrLoad(ds *synth.Dataset, opt tmalign.Options, path string, parallelism int) (*PairResults, error) {
+	return ComputeOrLoadShared(ds, opt, path, pairstore.New(parallelism))
+}
+
+// ComputeOrLoadShared is ComputeOrLoad backed by a shared pair store:
+// on a disk-cache miss the pairs are evaluated through the store (see
+// ComputeAllPairsShared), so repeated calls — other datasets'
+// overlapping keys, other option sweeps, other experiment drivers —
+// pay for each native comparison at most once per process.
+func ComputeOrLoadShared(ds *synth.Dataset, opt tmalign.Options, path string, store *pairstore.Store) (*PairResults, error) {
 	if path != "" {
 		if pr, err := LoadPairResults(ds, path); err == nil {
 			return pr, nil
 		}
 	}
-	pr := ComputeAllPairs(ds, opt, parallelism)
+	pr := ComputeAllPairsShared(ds, opt, store)
 	if path != "" {
 		if err := pr.Save(path); err != nil {
 			return pr, fmt.Errorf("core: computed results but failed to cache: %w", err)

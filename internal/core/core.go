@@ -17,13 +17,12 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
 	"rckalign/internal/fault"
 	"rckalign/internal/metrics"
+	"rckalign/internal/pairstore"
 	"rckalign/internal/pdb"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
@@ -90,8 +89,37 @@ func (pr *PairResults) lengths() []int {
 // ComputeAllPairs runs TM-align natively for every all-vs-all pair of
 // the dataset, using up to `parallelism` host goroutines (0 = GOMAXPROCS).
 // The comparisons themselves are deterministic, so the parallelism only
-// affects wall-clock time, never results.
+// affects wall-clock time, never results. It is ComputeAllPairsShared
+// with a private, throwaway store; use the shared variant to reuse
+// results across sweeps and configurations.
 func ComputeAllPairs(ds *synth.Dataset, opt tmalign.Options, parallelism int) *PairResults {
+	return ComputeAllPairsShared(ds, opt, pairstore.New(parallelism))
+}
+
+// PairKeys returns the pairstore keys of the dataset's all-vs-all pairs
+// under the given TM-align options, aligned with sched.AllVsAll order.
+func PairKeys(ds *synth.Dataset, opt tmalign.Options) []pairstore.Key {
+	pairs := sched.AllVsAll(ds.Len())
+	kernel := opt.Key()
+	keys := make([]pairstore.Key, len(pairs))
+	for k, p := range pairs {
+		keys[k] = pairstore.Key{
+			Dataset: ds.Name,
+			Kernel:  kernel,
+			A:       ds.Structures[p.I].ID,
+			B:       ds.Structures[p.J].ID,
+		}
+	}
+	return keys
+}
+
+// ComputeAllPairsShared assembles the dataset's all-vs-all pair results
+// from the store, prefetching every missing pair on the store's host
+// worker pool first. Pairs already memoized (by a previous sweep point,
+// experiment configuration or dataset pass under the same options) are
+// reused, so N configurations cost one native evaluation per pair
+// instead of N. A nil store computes serially with no memoization.
+func ComputeAllPairsShared(ds *synth.Dataset, opt tmalign.Options, store *pairstore.Store) *PairResults {
 	pairs := sched.AllVsAll(ds.Len())
 	pr := &PairResults{
 		Dataset: ds,
@@ -102,26 +130,16 @@ func ComputeAllPairs(ds *synth.Dataset, opt tmalign.Options, parallelism int) *P
 	for k, p := range pairs {
 		pr.index[p] = k
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	keys := PairKeys(ds, opt)
+	compute := func(k int) any {
+		p := pairs[k]
+		return tmalign.Compare(ds.Structures[p.I], ds.Structures[p.J], opt)
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range work {
-				p := pairs[k]
-				pr.Results[k] = tmalign.Compare(ds.Structures[p.I], ds.Structures[p.J], opt)
-			}
-		}()
-	}
+	store.Prefetch(keys, compute)
 	for k := range pairs {
-		work <- k
+		k := k
+		pr.Results[k] = store.Get(keys[k], func() any { return compute(k) }).(*tmalign.Result)
 	}
-	close(work)
-	wg.Wait()
 	return pr
 }
 
@@ -391,6 +409,10 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 	fcfg := cfg.session(slaves)
 	fcfg.Batch = cfg.Batch
 	fcfg.CacheStructs = cacheCap
+	// The affinity path farms per-slave queues through FarmDynamic,
+	// which has no fault-tolerant variant; declaring it lets the farm
+	// layer reject a fault plan at construction.
+	fcfg.Dynamic = cfg.Affinity
 	s, err := farm.NewSession(fcfg)
 	if err != nil {
 		return RunResult{}, err
@@ -435,6 +457,7 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 		if err != nil {
 			return RunResult{}, err
 		}
+		var farmErr error
 		rep, err := s.Run("", func(m *farm.Master) {
 			m.LoadResidues(pr.Dataset.TotalResidues())
 			queueOf := map[int]int{}
@@ -442,7 +465,7 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 				queueOf[lead] = w
 			}
 			heads := make([]int, len(queues))
-			m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
+			_, farmErr = m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
 				w := queueOf[slave]
 				if heads[w] >= len(queues[w]) {
 					return rckskel.Job{}, false
@@ -453,6 +476,9 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 			}, nil)
 			m.Terminate()
 		})
+		if err == nil {
+			err = farmErr
+		}
 		return RunResult{Report: rep}, err
 	}
 	jobs, err := farm.BuildJobs(ordered, 0, pairBytes(lengths))

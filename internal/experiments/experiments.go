@@ -18,6 +18,7 @@ import (
 	"rckalign/internal/fault"
 	"rckalign/internal/mcpsc"
 	"rckalign/internal/metrics"
+	"rckalign/internal/pairstore"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
@@ -72,6 +73,14 @@ type Env struct {
 // Load computes or loads both datasets' pair results. cacheDir may be
 // empty to force recomputation (slow: minutes of host CPU).
 func Load(cacheDir string, opt tmalign.Options) (*Env, error) {
+	return LoadShared(cacheDir, opt, pairstore.New(0))
+}
+
+// LoadShared is Load backed by a caller-supplied pair store: on a
+// disk-cache miss the native comparisons run through the store, so
+// drivers that sweep several option sets or datasets in one process
+// (see EXPERIMENTS.md) pay for each pair at most once.
+func LoadShared(cacheDir string, opt tmalign.Options, store *pairstore.Store) (*Env, error) {
 	env := &Env{}
 	for _, d := range []struct {
 		name string
@@ -85,7 +94,7 @@ func Load(cacheDir string, opt tmalign.Options) (*Env, error) {
 		if cacheDir != "" {
 			path = filepath.Join(cacheDir, d.name+".gob")
 		}
-		pr, err := core.ComputeOrLoad(ds, opt, path, 0)
+		pr, err := core.ComputeOrLoadShared(ds, opt, path, store)
 		if err != nil {
 			return nil, err
 		}
@@ -258,8 +267,12 @@ func (e *Env) Figure5(width, height int) (string, error) {
 		yr = append(yr, rck[i].TotalSeconds)
 		yd = append(yd, dst[i].TotalSeconds)
 	}
-	p.Add(stats.Series{Name: "TM-align (distributed)", Marker: '+', X: xs, Y: yd})
-	p.Add(stats.Series{Name: "rckAlign", Marker: '*', X: xs, Y: yr})
+	if err := p.Add(stats.Series{Name: "TM-align (distributed)", Marker: '+', X: xs, Y: yd}); err != nil {
+		return "", err
+	}
+	if err := p.Add(stats.Series{Name: "rckAlign", Marker: '*', X: xs, Y: yr}); err != nil {
+		return "", err
+	}
 	return p.Render(width, height), nil
 }
 
@@ -287,7 +300,9 @@ func (e *Env) Figure6(width, height int) (string, error) {
 			xs = append(xs, float64(n))
 			ys = append(ys, base/rs[i].TotalSeconds)
 		}
-		p.Add(stats.Series{Name: d.name, Marker: d.marker, X: xs, Y: ys})
+		if err := p.Add(stats.Series{Name: d.name, Marker: d.marker, X: xs, Y: ys}); err != nil {
+			return "", err
+		}
 	}
 	return p.Render(width, height), nil
 }
@@ -510,6 +525,11 @@ func MCPSCPartitionAblation() (*stats.Table, error) {
 	tb := stats.NewTable(
 		"Ablation: MC-PSC core partitioning (10 chains, 3 methods, 12 slaves)",
 		"Strategy", "Partition", "Makespan (s)")
+	// One pair store across both strategies: every (method, pair) kernel
+	// is evaluated natively once, then the second run replays memoized
+	// scores — O(strategies x pairs) native work becomes O(pairs).
+	cfg := mcpsc.DefaultRunConfig()
+	cfg.Store = pairstore.New(0)
 	for _, strat := range []struct {
 		name string
 		part []int
@@ -517,7 +537,7 @@ func MCPSCPartitionAblation() (*stats.Table, error) {
 		{"equal", mcpsc.EqualPartition(len(methods), 12)},
 		{"proportional", mcpsc.ProportionalPartition(ds, methods, 12, costmodel.P54C())},
 	} {
-		r, err := mcpsc.RunAllVsAll(ds, methods, strat.part, mcpsc.DefaultRunConfig())
+		r, err := mcpsc.RunAllVsAll(ds, methods, strat.part, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -112,8 +112,43 @@ func (s *Session) PrepareJobs(jobs []rckskel.Job, wm WireModel) []rckskel.Job {
 	if batch == 1 && !cached {
 		return jobs
 	}
-	if cached && s.cache == nil {
-		s.cache = NewStructCache(s.cfg.CacheStructs, wm.Sizes, s.cfg.Metrics)
+	// Split into groups and resolve each group's deduplicated structure
+	// list up front: the largest group request must be known before the
+	// cache model exists, so its capacity can be raised to fit it (an
+	// undersized cache would evict structures of the very request that
+	// shipped them, re-shipping on every batch).
+	groups := make([][]rckskel.Job, 0, (len(jobs)+batch-1)/batch)
+	for start := 0; start < len(jobs); start += batch {
+		end := start + batch
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		groups = append(groups, jobs[start:end])
+	}
+	groupStructs := make([][]int, len(groups))
+	maxRequest := 0
+	for g, group := range groups {
+		var structs []int
+		seen := map[int]bool{}
+		for _, j := range group {
+			for _, id := range wm.StructsOf(j) {
+				if !seen[id] {
+					seen[id] = true
+					structs = append(structs, id)
+				}
+			}
+		}
+		groupStructs[g] = structs
+		if len(structs) > maxRequest {
+			maxRequest = len(structs)
+		}
+	}
+	if cached {
+		if s.cache == nil {
+			s.cache = NewStructCache(s.cfg.CacheStructs, wm.Sizes, maxRequest, s.cfg.Metrics)
+		} else {
+			s.cache.EnsureCapacity(maxRequest)
+		}
 	}
 	if s.hBatchJobs == nil {
 		s.hBatchJobs = s.cfg.Metrics.Histogram("farm.batch.jobs", metrics.CountBuckets)
@@ -121,38 +156,26 @@ func (s *Session) PrepareJobs(jobs []rckskel.Job, wm WireModel) []rckskel.Job {
 		s.cInputBaseline = s.cfg.Metrics.Counter("farm.wire.input_bytes_baseline")
 		s.cInputShipped = s.cfg.Metrics.Counter("farm.wire.input_bytes_shipped")
 	}
-	out := make([]rckskel.Job, 0, (len(jobs)+batch-1)/batch)
-	for start := 0; start < len(jobs); start += batch {
-		end := start + batch
-		if end > len(jobs) {
-			end = len(jobs)
-		}
-		out = append(out, s.wireJob(jobs[start:end], wm))
+	out := make([]rckskel.Job, 0, len(groups))
+	for g, group := range groups {
+		out = append(out, s.wireJob(group, groupStructs[g], wm))
 	}
 	return out
 }
 
 // wireJob re-frames one group of jobs (a batch, or a single job when
-// batching is off) into a dispatch-sized job.
-func (s *Session) wireJob(group []rckskel.Job, wm WireModel) rckskel.Job {
+// batching is off) into a dispatch-sized job. structs is the group's
+// deduplicated structure list in first-use order (a batch ships each
+// structure at most once), precomputed by PrepareJobs.
+func (s *Session) wireJob(group []rckskel.Job, structs []int, wm WireModel) rckskel.Job {
 	batched := len(group) > 1 || s.cfg.Batch > 1
 	header := PairHeaderBytes
 	if batched {
 		header = BatchHeaderBytes + BatchJobHeaderBytes*len(group)
 	}
-	// The structures this request references, deduplicated in first-use
-	// order (a batch ships each structure at most once).
-	var structs []int
-	seen := map[int]bool{}
 	baseline := 0
 	for _, j := range group {
 		baseline += j.Bytes
-		for _, id := range wm.StructsOf(j) {
-			if !seen[id] {
-				seen[id] = true
-				structs = append(structs, id)
-			}
-		}
 	}
 	allBytes := 0
 	for _, id := range structs {
@@ -200,6 +223,10 @@ type WireReport struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+	// CacheForcedReships counts evictions of structures belonging to the
+	// request being dispatched (see CacheStats.ForcedReships); non-zero
+	// values flag an undersized cache.
+	CacheForcedReships int64
 	// CacheHitRate = CacheHits / (CacheHits + CacheMisses).
 	CacheHitRate float64
 	// BaselineInputBytes is what the classic ship-both-structures model
@@ -246,6 +273,7 @@ func (s *Session) wireReport() *WireReport {
 		w.CacheHits = cs.Hits
 		w.CacheMisses = cs.Misses
 		w.CacheEvictions = cs.Evictions
+		w.CacheForcedReships = cs.ForcedReships
 		if cs.Hits+cs.Misses > 0 {
 			w.CacheHitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
 		}

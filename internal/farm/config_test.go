@@ -87,6 +87,54 @@ func TestNewSessionRejectsBadFaultPlan(t *testing.T) {
 	}
 }
 
+func TestNewSessionRejectsDynamicWithFaults(t *testing.T) {
+	// A dynamic (pull-based) session has no fault-tolerant farm variant,
+	// so configuring both used to panic deep inside FarmDynamic at run
+	// time. The combination is now a typed construction error.
+	cfg := farm.Config{
+		MasterCore: 0,
+		Slaves:     4,
+		Dynamic:    true,
+		Faults:     &fault.Plan{},
+	}
+	if _, err := farm.NewSession(cfg); !errors.Is(err, farm.ErrDynamicFaults) {
+		t.Errorf("NewSession error = %v, want errors.Is ErrDynamicFaults", err)
+	}
+	// Dynamic without faults is fine.
+	cfg.Faults = nil
+	if _, err := farm.NewSession(cfg); err != nil {
+		t.Errorf("dynamic session without faults rejected: %v", err)
+	}
+}
+
+func TestFarmDynamicOnFaultTolerantSessionErrors(t *testing.T) {
+	// Backstop for sessions that configured faults without declaring
+	// Dynamic: calling FarmDynamic mid-run returns the typed error
+	// instead of panicking, and the run still terminates cleanly.
+	s, err := farm.NewSession(farm.Config{
+		MasterCore: 0,
+		Slaves:     4,
+		Faults:     &fault.Plan{},
+		FT:         rckskel.FTConfig{JobDeadlineSeconds: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartSlaves(countJobs)
+	var farmErr error
+	if _, err := s.Run("", func(m *farm.Master) {
+		_, farmErr = m.FarmDynamic(
+			func(int) (rckskel.Job, bool) { return rckskel.Job{}, false },
+			nil)
+		m.Terminate()
+	}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !errors.Is(farmErr, farm.ErrDynamicFaults) {
+		t.Errorf("FarmDynamic error = %v, want errors.Is ErrDynamicFaults", farmErr)
+	}
+}
+
 // countJobs is a trivial handler for session-level FT tests.
 func countJobs(job rckskel.Job) (any, costmodel.Counter, int) {
 	return job.ID, costmodel.Counter{DPCells: 200000}, 8

@@ -132,6 +132,12 @@ type Config struct {
 	// model (the paper's ship-both-structures wire). Applied by
 	// PrepareJobs.
 	CacheStructs int
+	// Dynamic declares that the session's master will pull jobs through
+	// FarmDynamic (per-slave queues, partitioned multi-method farms).
+	// Dynamic farming has no fault-tolerant variant, so a session that
+	// sets both Dynamic and Faults is rejected at construction with
+	// ErrDynamicFaults — instead of failing at farm time.
+	Dynamic bool
 	// Faults, when non-nil, runs the session fault-tolerantly: the plan
 	// is injected (kills, stalls, link faults) and the farm uses
 	// deadline-based detection with retry, reassignment and
@@ -273,6 +279,9 @@ func NewSession(cfg Config) (*Session, error) {
 	place, err := Place(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Dynamic && cfg.Faults != nil {
+		return nil, fmt.Errorf("farm: %w", ErrDynamicFaults)
 	}
 	rec := cfg.Trace
 	if rec == nil {
@@ -602,17 +611,19 @@ func (s *Session) mergeFT(ft rckskel.FTStats) {
 
 // FarmDynamic is Farm with a pull-based job source: next(slave) supplies
 // the next job for that slave (partitioned multi-method farms). It has
-// no fault-tolerant variant: run paths built on it must reject fault
-// plans (ErrFaultsUnsupported) before constructing the session.
-func (m *Master) FarmDynamic(next func(slave int) (rckskel.Job, bool), collect func(rckskel.Result)) rckskel.Stats {
+// no fault-tolerant variant: sessions built on it declare Config.Dynamic
+// so a fault plan is rejected at construction; as a backstop, calling it
+// on a fault-tolerant session returns ErrDynamicFaults before any job
+// is dispatched (the master body should still Terminate normally).
+func (m *Master) FarmDynamic(next func(slave int) (rckskel.Job, bool), collect func(rckskel.Result)) (rckskel.Stats, error) {
 	if m.s.FaultTolerant() {
-		panic("farm: FarmDynamic cannot run fault-tolerantly; reject the fault plan up front")
+		return rckskel.Stats{}, fmt.Errorf("farm: %w", ErrDynamicFaults)
 	}
 	st := m.s.Team().FARMDynamic(m.P, next, func(r rckskel.Result) {
 		m.s.deliver(r, collect)
 	})
 	m.s.mergeStats(st)
-	return st
+	return st, nil
 }
 
 // MergeStats folds an externally executed farm's statistics into the

@@ -26,6 +26,7 @@ type StructCache struct {
 
 	cHits, cMisses, cEvictions *metrics.Counter
 	cBytesShipped, cBytesSaved *metrics.Counter
+	cForcedReships             *metrics.Counter
 }
 
 // CacheStats counts what the structure-cache model did over a run.
@@ -36,6 +37,12 @@ type CacheStats struct {
 	Misses int64
 	// Evictions counts structures dropped from full caches.
 	Evictions int64
+	// ForcedReships counts evictions that had to victimise a structure
+	// of the current request because everything resident belonged to
+	// it — the cache cannot hold the request, so the evicted structure
+	// will re-ship on its next use. Zero when every request fits
+	// (NewStructCache raises the capacity to the largest request).
+	ForcedReships int64
 	// BytesShipped sums the coordinate bytes actually sent (misses).
 	BytesShipped int64
 	// BytesSaved sums the coordinate bytes avoided (hits).
@@ -48,41 +55,66 @@ type slaveLRU struct {
 	resident map[int]bool
 }
 
-func (l *slaveLRU) touch(id int) {
+// touch moves id to most-recently-used and reports whether it was
+// present; an absent id is left untouched (resident set unchanged).
+func (l *slaveLRU) touch(id int) bool {
 	for i, v := range l.ids {
 		if v == id {
 			l.ids = append(append(l.ids[:i:i], l.ids[i+1:]...), id)
-			return
+			return true
 		}
 	}
+	return false
 }
 
-func (l *slaveLRU) remove(id int) {
+// remove drops id from the LRU and resident set, reporting whether it
+// was present — so a caller removing an absent id learns the model and
+// its resident map never went out of sync.
+func (l *slaveLRU) remove(id int) bool {
 	for i, v := range l.ids {
 		if v == id {
 			l.ids = append(l.ids[:i:i], l.ids[i+1:]...)
 			delete(l.resident, id)
-			return
+			return true
 		}
 	}
+	return false
 }
 
-// NewStructCache builds the cache model: capacity structures per slave
-// (values below 2 are raised to 2 — a pair's two structures must fit),
-// sizes[i] giving structure i's coordinate wire size. reg may be nil.
-func NewStructCache(capacity int, sizes []int, reg *metrics.Registry) *StructCache {
+// NewStructCache builds the cache model: capacity structures per slave,
+// sizes[i] giving structure i's coordinate wire size. The capacity is
+// raised to at least 2 (a pair's two structures must fit) and to
+// maxRequest, the largest number of distinct structures any single
+// request will reference — a batch must fit in the cache whole, or the
+// eviction loop would evict structures of the request that just shipped
+// them. reg may be nil.
+func NewStructCache(capacity int, sizes []int, maxRequest int, reg *metrics.Registry) *StructCache {
 	if capacity < 2 {
 		capacity = 2
 	}
+	if capacity < maxRequest {
+		capacity = maxRequest
+	}
 	return &StructCache{
-		capacity:      capacity,
-		sizes:         sizes,
-		slaves:        map[int]*slaveLRU{},
-		cHits:         reg.Counter("farm.cache.hits"),
-		cMisses:       reg.Counter("farm.cache.misses"),
-		cEvictions:    reg.Counter("farm.cache.evictions"),
-		cBytesShipped: reg.Counter("farm.cache.bytes_shipped"),
-		cBytesSaved:   reg.Counter("farm.cache.bytes_saved"),
+		capacity:       capacity,
+		sizes:          sizes,
+		slaves:         map[int]*slaveLRU{},
+		cHits:          reg.Counter("farm.cache.hits"),
+		cMisses:        reg.Counter("farm.cache.misses"),
+		cEvictions:     reg.Counter("farm.cache.evictions"),
+		cForcedReships: reg.Counter("farm.cache.forced_reships"),
+		cBytesShipped:  reg.Counter("farm.cache.bytes_shipped"),
+		cBytesSaved:    reg.Counter("farm.cache.bytes_saved"),
+	}
+}
+
+// EnsureCapacity raises the modelled per-slave capacity to fit a
+// request of maxRequest distinct structures (sessions preparing
+// multiple job queues size the shared cache to the largest batch seen
+// so far). Capacity never shrinks, so earlier accounting stays valid.
+func (c *StructCache) EnsureCapacity(maxRequest int) {
+	if maxRequest > c.capacity {
+		c.capacity = maxRequest
 	}
 }
 
@@ -125,11 +157,20 @@ func (c *StructCache) Request(slave int, structs []int) int {
 	}
 	for len(lru.ids) > c.capacity {
 		victim := lru.ids[0]
+		forced := true
 		for _, id := range lru.ids {
 			if !inReq[id] {
 				victim = id
+				forced = false
 				break
 			}
+		}
+		if forced {
+			// Every resident structure belongs to this request: the
+			// victim will re-ship on its next use. Should not happen
+			// when capacity >= the largest request (see NewStructCache).
+			c.stats.ForcedReships++
+			c.cForcedReships.Inc()
 		}
 		lru.remove(victim)
 		c.stats.Evictions++

@@ -4,7 +4,7 @@ import "testing"
 
 func TestStructCacheMissThenHit(t *testing.T) {
 	sizes := []int{100, 200, 300, 400}
-	c := NewStructCache(3, sizes, nil)
+	c := NewStructCache(3, sizes, 0, nil)
 	if got := c.Request(1, []int{0, 1}); got != 300 {
 		t.Errorf("cold request shipped %d bytes, want 300", got)
 	}
@@ -22,7 +22,7 @@ func TestStructCacheMissThenHit(t *testing.T) {
 
 func TestStructCachePerSlaveIndependence(t *testing.T) {
 	sizes := []int{10, 20}
-	c := NewStructCache(2, sizes, nil)
+	c := NewStructCache(2, sizes, 0, nil)
 	c.Request(0, []int{0, 1})
 	// Slave 3 has its own empty cache: full miss.
 	if got := c.Request(3, []int{0, 1}); got != 30 {
@@ -38,7 +38,7 @@ func TestStructCachePerSlaveIndependence(t *testing.T) {
 
 func TestStructCacheLRUEviction(t *testing.T) {
 	sizes := []int{1, 1, 1, 1, 1}
-	c := NewStructCache(2, sizes, nil)
+	c := NewStructCache(2, sizes, 0, nil)
 	c.Request(0, []int{0, 1}) // resident: {0,1}
 	c.Request(0, []int{2})    // evicts 0 (LRU) -> {1,2}
 	if c.Resident(0, 0) {
@@ -65,7 +65,7 @@ func TestStructCacheEvictionAvoidsCurrentRequest(t *testing.T) {
 	}
 	// Capacity 3, request 3 new structures while 3 others are resident:
 	// the victims must all come from the old set, never the request.
-	c := NewStructCache(3, sizes, nil)
+	c := NewStructCache(3, sizes, 0, nil)
 	c.Request(0, []int{0, 1, 2})
 	c.Request(0, []int{3, 4, 5})
 	for id := 3; id <= 5; id++ {
@@ -81,7 +81,7 @@ func TestStructCacheEvictionAvoidsCurrentRequest(t *testing.T) {
 }
 
 func TestStructCacheCapacityFloor(t *testing.T) {
-	c := NewStructCache(0, []int{1, 1}, nil)
+	c := NewStructCache(0, []int{1, 1}, 0, nil)
 	if c.Capacity() != 2 {
 		t.Errorf("capacity = %d, want floor of 2", c.Capacity())
 	}
@@ -89,5 +89,77 @@ func TestStructCacheCapacityFloor(t *testing.T) {
 	c.Request(0, []int{0, 1})
 	if !c.Resident(0, 0) || !c.Resident(0, 1) {
 		t.Error("a pair does not fit in the floored cache")
+	}
+}
+
+func TestStructCacheCapacityRaisedToMaxRequest(t *testing.T) {
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	// A configured capacity smaller than the largest batch request is
+	// raised so the whole batch stays resident — no structure of the
+	// request is evicted right after shipping.
+	c := NewStructCache(2, sizes, 5, nil)
+	if c.Capacity() != 5 {
+		t.Errorf("capacity = %d, want 5 (raised to max request)", c.Capacity())
+	}
+	c.Request(0, []int{0, 1, 2, 3, 4})
+	for id := 0; id <= 4; id++ {
+		if !c.Resident(0, id) {
+			t.Errorf("structure %d of the oversized batch was evicted", id)
+		}
+	}
+	if st := c.Stats(); st.ForcedReships != 0 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want no evictions", st)
+	}
+
+	// EnsureCapacity raises for a later, larger queue and never shrinks.
+	c.EnsureCapacity(7)
+	if c.Capacity() != 7 {
+		t.Errorf("capacity = %d after EnsureCapacity(7)", c.Capacity())
+	}
+	c.EnsureCapacity(3)
+	if c.Capacity() != 7 {
+		t.Errorf("EnsureCapacity shrank the cache to %d", c.Capacity())
+	}
+}
+
+func TestStructCacheOversizedRequestCountsForcedReships(t *testing.T) {
+	sizes := make([]int, 6)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	// Bypass the constructor's raise by requesting more structures than
+	// the capacity directly: every eviction must victimise a structure
+	// of the request itself, and each one is counted as a forced
+	// re-ship instead of silently thrashing.
+	c := NewStructCache(3, sizes, 0, nil)
+	c.Request(0, []int{0, 1, 2, 3, 4})
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.ForcedReships != 2 {
+		t.Errorf("forced re-ships = %d, want 2 (all victims were in the request)", st.ForcedReships)
+	}
+}
+
+func TestSlaveLRUAbsentID(t *testing.T) {
+	l := &slaveLRU{resident: map[int]bool{}}
+	l.ids = append(l.ids, 1, 2)
+	l.resident[1] = true
+	l.resident[2] = true
+	if l.touch(9) {
+		t.Error("touch reported an absent id as present")
+	}
+	if l.remove(9) {
+		t.Error("remove reported an absent id as present")
+	}
+	if len(l.ids) != 2 || !l.resident[1] || !l.resident[2] {
+		t.Errorf("absent-id ops disturbed the LRU: ids=%v resident=%v", l.ids, l.resident)
+	}
+	if !l.remove(1) || len(l.ids) != 1 || l.resident[1] {
+		t.Errorf("present-id remove broken: ids=%v resident=%v", l.ids, l.resident)
 	}
 }

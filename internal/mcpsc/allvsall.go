@@ -6,6 +6,7 @@ import (
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
+	"rckalign/internal/pdb"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/sched"
 	"rckalign/internal/synth"
@@ -144,19 +145,24 @@ func RunAllVsAll(ds *synth.Dataset, methods []Method, partition []int, cfg RunCo
 	heads := make([]int, len(methods))
 	cpu := cfg.Chip.CPU
 	rb := cfg.resultBytes()
+	prefetchQueues(cfg.Store, ds, methods, queues, func(pl any) (*pdb.Structure, *pdb.Structure) {
+		p := pl.(sched.Pair)
+		return ds.Structures[p.I], ds.Structures[p.J]
+	})
 
 	s.StartSlavesWith(func(slave int) rckskel.Handler {
 		m := methods[methodOf[slave]]
 		return func(job rckskel.Job) (any, costmodel.Counter, int) {
 			p := job.Payload.(sched.Pair)
-			sc := m.Compare(ds.Structures[p.I], ds.Structures[p.J])
+			sc := memoizedScore(cfg.Store, m, ds.Name, ds.Structures[p.I], ds.Structures[p.J])
 			return sc, sc.Ops, rb(sc)
 		}
 	})
 
+	var farmErr error
 	rep, err := s.Run("", func(m *farm.Master) {
 		m.LoadResidues(ds.TotalResidues())
-		m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
+		_, farmErr = m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
 			mi := methodOf[slave]
 			if heads[mi] >= len(queues[mi]) {
 				return rckskel.Job{}, false
@@ -174,6 +180,9 @@ func RunAllVsAll(ds *synth.Dataset, methods []Method, partition []int, cfg RunCo
 		})
 		m.Terminate()
 	})
+	if err == nil {
+		err = farmErr
+	}
 	out.Report = rep
 	return out, err
 }

@@ -1,0 +1,59 @@
+package mcpsc
+
+import (
+	"fmt"
+
+	"rckalign/internal/pairstore"
+	"rckalign/internal/pdb"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/synth"
+)
+
+// methodKernel renders a method and its parameters into the pair-store
+// kernel key. The %+v of the method value carries its parameter fields,
+// so two TMAlign instances with different Options — which share a
+// Name() — memoize under different keys.
+func methodKernel(m Method) string {
+	return fmt.Sprintf("mcpsc/%s/%+v", m.Name(), m)
+}
+
+// memoizedScore evaluates m on (a, b) through the store: with a nil
+// store it computes inline on the calling (simulation) goroutine — the
+// classic path; otherwise the score is computed at most once per
+// (method parameters, pair) across every run sharing the store, and
+// usually already resident from a prefetch. Either way the simulated
+// cores charge the same measured operation counts, so the store only
+// moves host wall-clock time (see the pairstore package comment).
+func memoizedScore(store *pairstore.Store, m Method, dataset string, a, b *pdb.Structure) Score {
+	if store == nil {
+		return m.Compare(a, b)
+	}
+	k := pairstore.Key{Dataset: dataset, Kernel: methodKernel(m), A: a.ID, B: b.ID}
+	return store.Get(k, func() any { return m.Compare(a, b) }).(Score)
+}
+
+// prefetchQueues warms the store for every (method, job payload) pair
+// the queues will farm, fanning the native kernel work out over the
+// store's host worker pool before the simulation starts. pairOf maps a
+// job payload to its structure pair. No-op on a nil store.
+func prefetchQueues(store *pairstore.Store, ds *synth.Dataset, methods []Method,
+	queues [][]rckskel.Job, pairOf func(payload any) (a, b *pdb.Structure)) {
+	if store == nil {
+		return
+	}
+	var keys []pairstore.Key
+	var structs [][2]*pdb.Structure
+	var kernels []int
+	for m := range methods {
+		kernel := methodKernel(methods[m])
+		for _, j := range queues[m] {
+			a, b := pairOf(j.Payload)
+			keys = append(keys, pairstore.Key{Dataset: ds.Name, Kernel: kernel, A: a.ID, B: b.ID})
+			structs = append(structs, [2]*pdb.Structure{a, b})
+			kernels = append(kernels, m)
+		}
+	}
+	store.Prefetch(keys, func(i int) any {
+		return methods[kernels[i]].Compare(structs[i][0], structs[i][1])
+	})
+}

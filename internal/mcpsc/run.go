@@ -6,6 +6,8 @@ import (
 	"rckalign/internal/core"
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
+	"rckalign/internal/pairstore"
+	"rckalign/internal/pdb"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
 	"rckalign/internal/synth"
@@ -24,6 +26,12 @@ type RunConfig struct {
 	Trace *trace.Recorder
 	// Collector, when non-nil, observes every collected result.
 	Collector farm.Collector
+	// Store, when non-nil, memoizes native method evaluations: every
+	// (method parameters, pair) is computed once on the host worker pool
+	// and reused across runs sharing the store (partition ablations,
+	// sweeps). Nil keeps the classic inline-compute path. Simulated
+	// timing is unchanged either way — see the pairstore package.
+	Store *pairstore.Store
 }
 
 // DefaultRunConfig mirrors the rckAlign setup (master on core 0).
@@ -32,13 +40,16 @@ func DefaultRunConfig() RunConfig {
 }
 
 // session maps an MC-PSC config onto the farm harness. MC-PSC always
-// uses the paper's busy polling (PollingScale 1).
+// uses the paper's busy polling (PollingScale 1) and pulls jobs through
+// FarmDynamic, so the session is declared Dynamic (fault plans are
+// rejected at construction rather than mid-run).
 func (cfg RunConfig) session(slaves int) farm.Config {
 	return farm.Config{
 		Backend:      farm.SCCSim{Chip: cfg.Chip},
 		MasterCore:   cfg.MasterCore,
 		Slaves:       slaves,
 		PollingScale: 1,
+		Dynamic:      true,
 		Trace:        cfg.Trace,
 		Collector:    cfg.Collector,
 	}
@@ -131,12 +142,16 @@ func RunOneVsAll(ds *synth.Dataset, query int, methods []Method, slaves int, cfg
 	}
 	heads := make([]int, len(methods))
 	rb := cfg.resultBytes()
+	prefetchQueues(cfg.Store, ds, methods, queues, func(pl any) (*pdb.Structure, *pdb.Structure) {
+		p := pl.(payload)
+		return ds.Structures[query], ds.Structures[targets[p.pos]]
+	})
 
 	s.StartSlavesWith(func(slave int) rckskel.Handler {
 		m := methods[methodOf[slave]]
 		return func(job rckskel.Job) (any, costmodel.Counter, int) {
 			pl := job.Payload.(payload)
-			sc := m.Compare(ds.Structures[query], ds.Structures[targets[pl.pos]])
+			sc := memoizedScore(cfg.Store, m, ds.Name, ds.Structures[query], ds.Structures[targets[pl.pos]])
 			return sc, sc.Ops, rb(sc)
 		}
 	})
@@ -150,9 +165,10 @@ func RunOneVsAll(ds *synth.Dataset, query int, methods []Method, slaves int, cfg
 		out.PerMethod[m.Name()] = make([]float64, len(targets))
 	}
 
+	var farmErr error
 	rep, err := s.Run("", func(m *farm.Master) {
 		m.LoadResidues(ds.TotalResidues())
-		m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
+		_, farmErr = m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
 			mi := methodOf[slave]
 			if heads[mi] >= len(queues[mi]) {
 				return rckskel.Job{}, false
@@ -167,6 +183,9 @@ func RunOneVsAll(ds *synth.Dataset, query int, methods []Method, slaves int, cfg
 		})
 		m.Terminate()
 	})
+	if err == nil {
+		err = farmErr
+	}
 	out.Report = rep
 	if err != nil {
 		return out, err

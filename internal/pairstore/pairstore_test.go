@@ -1,0 +1,143 @@
+package pairstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(i int) Key {
+	return Key{Dataset: "ds", Kernel: "k", A: fmt.Sprintf("a%d", i), B: fmt.Sprintf("b%d", i)}
+}
+
+func TestGetMemoizes(t *testing.T) {
+	s := New(4)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v := s.Get(key(1), func() any { calls++; return 42 })
+		if v != 42 {
+			t.Fatalf("Get = %v, want 42", v)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestKeyOrderSignificant(t *testing.T) {
+	s := New(1)
+	s.Get(Key{Dataset: "d", Kernel: "k", A: "x", B: "y"}, func() any { return "xy" })
+	v := s.Get(Key{Dataset: "d", Kernel: "k", A: "y", B: "x"}, func() any { return "yx" })
+	if v != "yx" {
+		t.Errorf("reversed key shared the entry: got %v", v)
+	}
+}
+
+// TestGetSingleFlight: concurrent Gets of one key run compute exactly
+// once and all observe its value (exercised under -race).
+func TestGetSingleFlight(t *testing.T) {
+	s := New(8)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	values := make([]any, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			values[g] = s.Get(key(7), func() any {
+				calls.Add(1)
+				return "once"
+			})
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", calls.Load())
+	}
+	for g, v := range values {
+		if v != "once" {
+			t.Errorf("goroutine %d got %v", g, v)
+		}
+	}
+}
+
+// TestPrefetchParallelDeterministic: the prefetched values are
+// identical regardless of worker count, and every key is computed
+// exactly once even when Prefetch races with lazy Gets.
+func TestPrefetchParallelDeterministic(t *testing.T) {
+	const n = 100
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	for _, workers := range []int{1, 8} {
+		s := New(workers)
+		var computes atomic.Int64
+		compute := func(i int) any { computes.Add(1); return i * i }
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Prefetch(keys, compute)
+		}()
+		// Lazy consumers racing the prefetch must see the same values.
+		for i := 0; i < n; i += 7 {
+			i := i
+			if v := s.Get(keys[i], func() any { return compute(i) }); v != i*i {
+				t.Errorf("workers=%d key %d = %v, want %d", workers, i, v, i*i)
+			}
+		}
+		wg.Wait()
+		if computes.Load() != n {
+			t.Errorf("workers=%d: %d computes, want %d", workers, computes.Load(), n)
+		}
+		if s.Len() != n {
+			t.Errorf("workers=%d: Len = %d, want %d", workers, s.Len(), n)
+		}
+		for i := range keys {
+			if v := s.Get(keys[i], func() any { t.Fatal("recompute"); return nil }); v != i*i {
+				t.Errorf("workers=%d: key %d = %v after prefetch", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Errorf("New(0).Workers() = %d, want >= 1 (GOMAXPROCS)", w)
+	}
+	if w := New(3).Workers(); w != 3 {
+		t.Errorf("Workers() = %d, want 3", w)
+	}
+}
+
+// TestNilStore: a nil *Store computes inline, memoizes nothing, and
+// never panics — call sites can thread an optional store unguarded.
+func TestNilStore(t *testing.T) {
+	var s *Store
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if v := s.Get(key(1), func() any { calls++; return 5 }); v != 5 {
+			t.Fatalf("nil Get = %v", v)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("nil store memoized (%d calls)", calls)
+	}
+	s.Prefetch([]Key{key(1)}, func(int) any { t.Fatal("nil Prefetch computed"); return nil })
+	if s.Len() != 0 || s.Workers() != 0 || (s.Stats() != Stats{}) {
+		t.Error("nil store accessors not zero")
+	}
+}

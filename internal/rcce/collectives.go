@@ -1,6 +1,8 @@
 package rcce
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"rckalign/internal/sim"
@@ -13,26 +15,40 @@ import (
 // Send/Recv pairs, so the cost model inherits the mesh timing
 // automatically.
 
-// rankOf returns self's position in the sorted participant list, and
+// ErrNotParticipant reports a collective called with a self or root
+// core that is not in the participant set. A mis-set participant list
+// is a configuration bug in the calling skeleton; surfacing it as an
+// error lets SPMD code paths fail their run cleanly instead of tearing
+// down the whole simulation with a panic.
+var ErrNotParticipant = errors.New("rcce: caller is not a participant of the collective")
+
+// rankOf returns core's position in the sorted participant list, and
 // the sorted list.
-func rankOf(self int, participants []int) (int, []int) {
+func rankOf(core int, participants []int) (int, []int, error) {
 	ps := append([]int(nil), participants...)
 	sort.Ints(ps)
 	for r, c := range ps {
-		if c == self {
-			return r, ps
+		if c == core {
+			return r, ps, nil
 		}
 	}
-	panic("rcce: caller is not a participant of the collective")
+	return 0, nil, fmt.Errorf("%w: core %d not in %v", ErrNotParticipant, core, ps)
 }
 
 // Bcast distributes the root's payload to every participant. Each
 // participant passes its own core id as self and the same participant
 // set; the root passes the payload, others' payload argument is
-// ignored. Returns the broadcast payload on every core.
-func (c *Comm) Bcast(p *sim.Process, self, root int, participants []int, bytes int, payload any) any {
-	rank, ps := rankOf(self, participants)
-	rootRank, _ := rankOf(root, participants)
+// ignored. Returns the broadcast payload on every core, or
+// ErrNotParticipant when self or root is outside the participant set.
+func (c *Comm) Bcast(p *sim.Process, self, root int, participants []int, bytes int, payload any) (any, error) {
+	rank, ps, err := rankOf(self, participants)
+	if err != nil {
+		return nil, err
+	}
+	rootRank, _, err := rankOf(root, participants)
+	if err != nil {
+		return nil, err
+	}
 	n := len(ps)
 	// Rotate ranks so the root is rank 0.
 	vrank := (rank - rootRank + n) % n
@@ -55,7 +71,7 @@ func (c *Comm) Bcast(p *sim.Process, self, root int, participants []int, bytes i
 			c.Send(p, self, unrotate(child), bytes, payload)
 		}
 	}
-	return payload
+	return payload, nil
 }
 
 // ReduceFn combines two partial values into one.
@@ -63,10 +79,17 @@ type ReduceFn func(a, b any) any
 
 // Reduce combines every participant's value with fn down a binomial
 // tree onto the root, which receives the full combination; other cores
-// return nil. fn must be associative and commutative.
-func (c *Comm) Reduce(p *sim.Process, self, root int, participants []int, bytes int, value any, fn ReduceFn) any {
-	rank, ps := rankOf(self, participants)
-	rootRank, _ := rankOf(root, participants)
+// return nil. fn must be associative and commutative. Returns
+// ErrNotParticipant when self or root is outside the participant set.
+func (c *Comm) Reduce(p *sim.Process, self, root int, participants []int, bytes int, value any, fn ReduceFn) (any, error) {
+	rank, ps, err := rankOf(self, participants)
+	if err != nil {
+		return nil, err
+	}
+	rootRank, _, err := rankOf(root, participants)
+	if err != nil {
+		return nil, err
+	}
 	n := len(ps)
 	vrank := (rank - rootRank + n) % n
 	unrotate := func(vr int) int { return ps[(vr+rootRank)%n] }
@@ -86,29 +109,42 @@ func (c *Comm) Reduce(p *sim.Process, self, root int, participants []int, bytes 
 	if vrank != 0 {
 		parent := vrank & (vrank - 1)
 		c.Send(p, self, unrotate(parent), bytes, acc)
-		return nil
+		return nil, nil
 	}
-	return acc
+	return acc, nil
 }
 
 // AllReduce combines every participant's value and delivers the result
 // to all of them (Reduce onto the lowest-ranked core, then Bcast).
-func (c *Comm) AllReduce(p *sim.Process, self int, participants []int, bytes int, value any, fn ReduceFn) any {
-	_, ps := rankOf(self, participants)
+func (c *Comm) AllReduce(p *sim.Process, self int, participants []int, bytes int, value any, fn ReduceFn) (any, error) {
+	_, ps, err := rankOf(self, participants)
+	if err != nil {
+		return nil, err
+	}
 	root := ps[0]
-	acc := c.Reduce(p, self, root, participants, bytes, value, fn)
+	acc, err := c.Reduce(p, self, root, participants, bytes, value, fn)
+	if err != nil {
+		return nil, err
+	}
 	return c.Bcast(p, self, root, participants, bytes, acc)
 }
 
 // Gather collects every participant's value at the root in rank order;
 // non-roots return nil. Implemented as direct sends (RCCE's flat
-// gather), which keeps the ordering deterministic.
-func (c *Comm) Gather(p *sim.Process, self, root int, participants []int, bytes int, value any) []any {
-	rank, ps := rankOf(self, participants)
-	rootRank, _ := rankOf(root, participants)
+// gather), which keeps the ordering deterministic. Returns
+// ErrNotParticipant when self or root is outside the participant set.
+func (c *Comm) Gather(p *sim.Process, self, root int, participants []int, bytes int, value any) ([]any, error) {
+	rank, ps, err := rankOf(self, participants)
+	if err != nil {
+		return nil, err
+	}
+	rootRank, _, err := rankOf(root, participants)
+	if err != nil {
+		return nil, err
+	}
 	if rank != rootRank {
 		c.Send(p, self, root, bytes, value)
-		return nil
+		return nil, nil
 	}
 	out := make([]any, len(ps))
 	out[rank] = value
@@ -119,5 +155,5 @@ func (c *Comm) Gather(p *sim.Process, self, root int, participants []int, bytes 
 		m := c.Recv(p, core, self)
 		out[r] = m.Payload
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package rcce
 
 import (
+	"errors"
 	"testing"
 
 	"rckalign/internal/sim"
@@ -24,7 +25,10 @@ func TestBcastDeliversToAll(t *testing.T) {
 	parts := []int{0, 3, 7, 12, 21, 33, 40, 47}
 	got := map[int]any{}
 	runCollective(t, c, parts, func(p *sim.Process, self int) {
-		v := c.Bcast(p, self, 7, parts, 256, pick(self == 7, "payload", nil))
+		v, err := c.Bcast(p, self, 7, parts, 256, pick(self == 7, "payload", nil))
+		if err != nil {
+			t.Error(err)
+		}
 		got[self] = v
 	})
 	for _, core := range parts {
@@ -39,7 +43,11 @@ func TestBcastNonPowerOfTwo(t *testing.T) {
 	parts := []int{2, 5, 9, 11, 30} // 5 participants
 	got := map[int]any{}
 	runCollective(t, c, parts, func(p *sim.Process, self int) {
-		got[self] = c.Bcast(p, self, 2, parts, 64, pick(self == 2, 42, nil))
+		v, err := c.Bcast(p, self, 2, parts, 64, pick(self == 2, 42, nil))
+		if err != nil {
+			t.Error(err)
+		}
+		got[self] = v
 	})
 	for _, core := range parts {
 		if got[core] != 42 {
@@ -54,7 +62,11 @@ func TestReduceSums(t *testing.T) {
 	sum := func(a, b any) any { return a.(int) + b.(int) }
 	results := map[int]any{}
 	runCollective(t, c, parts, func(p *sim.Process, self int) {
-		results[self] = c.Reduce(p, self, 8, parts, 8, self, sum)
+		v, err := c.Reduce(p, self, 8, parts, 8, self, sum)
+		if err != nil {
+			t.Error(err)
+		}
+		results[self] = v
 	})
 	want := 0
 	for _, core := range parts {
@@ -81,7 +93,11 @@ func TestAllReduceMax(t *testing.T) {
 	}
 	results := map[int]any{}
 	runCollective(t, c, parts, func(p *sim.Process, self int) {
-		results[self] = c.AllReduce(p, self, parts, 8, self*self, max)
+		v, err := c.AllReduce(p, self, parts, 8, self*self, max)
+		if err != nil {
+			t.Error(err)
+		}
+		results[self] = v
 	})
 	for _, core := range parts {
 		if results[core] != 47*47 {
@@ -95,7 +111,10 @@ func TestGatherOrdered(t *testing.T) {
 	parts := []int{9, 3, 27, 14} // unsorted on purpose
 	var rootGot []any
 	runCollective(t, c, parts, func(p *sim.Process, self int) {
-		out := c.Gather(p, self, 14, parts, 16, self*10)
+		out, err := c.Gather(p, self, 14, parts, 16, self*10)
+		if err != nil {
+			t.Error(err)
+		}
 		if self == 14 {
 			rootGot = out
 		} else if out != nil {
@@ -116,7 +135,9 @@ func TestCollectiveTakesTime(t *testing.T) {
 	parts := []int{0, 15, 31, 47}
 	var done float64
 	runCollective(t, c, parts, func(p *sim.Process, self int) {
-		c.Bcast(p, self, 0, parts, 64*1024, pick(self == 0, "big", nil))
+		if _, err := c.Bcast(p, self, 0, parts, 64*1024, pick(self == 0, "big", nil)); err != nil {
+			t.Error(err)
+		}
 		if p.Now() > done {
 			done = p.Now()
 		}
@@ -126,17 +147,28 @@ func TestCollectiveTakesTime(t *testing.T) {
 	}
 }
 
-func TestNonParticipantPanics(t *testing.T) {
+func TestNonParticipantTypedError(t *testing.T) {
+	// A mis-set participant list used to panic inside the collective,
+	// tearing down the whole simulation. It now comes back as a typed
+	// error the SPMD body can handle, and the sim run ends cleanly.
 	_, c := newComm()
+	errs := map[string]error{}
 	c.Chip().SpawnCore(5, func(p *sim.Process) {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic for non-participant")
-			}
-		}()
-		c.Bcast(p, 5, 0, []int{0, 1}, 8, nil)
+		_, errs["bcast self"] = c.Bcast(p, 5, 0, []int{0, 1}, 8, nil)
+		_, errs["reduce self"] = c.Reduce(p, 5, 0, []int{0, 1}, 8, 1, func(a, b any) any { return a })
+		_, errs["allreduce self"] = c.AllReduce(p, 5, []int{0, 1}, 8, 1, func(a, b any) any { return a })
+		_, errs["gather self"] = c.Gather(p, 5, 0, []int{0, 1}, 8, 1)
+		// A root outside the participant set is the same bug.
+		_, errs["bcast root"] = c.Bcast(p, 5, 0, []int{5, 9}, 8, nil)
 	})
-	_ = c.Chip().Engine().Run() // the panicking process never parks cleanly
+	if err := c.Chip().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	for name, err := range errs {
+		if !errors.Is(err, ErrNotParticipant) {
+			t.Errorf("%s: err = %v, want errors.Is ErrNotParticipant", name, err)
+		}
+	}
 }
 
 func pick(cond bool, a, b any) any {

@@ -1,10 +1,16 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 )
+
+// ErrSeriesLength reports a series whose X and Y slices disagree in
+// length — the plot cannot pair the points. Surfaced as an error so a
+// report generator can fail its figure instead of panicking.
+var ErrSeriesLength = errors.New("stats: series X/Y length mismatch")
 
 // Series is one named curve for an ASCII plot.
 type Series struct {
@@ -30,15 +36,17 @@ func NewPlot(title, xlabel, ylabel string) *Plot {
 	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel}
 }
 
-// Add appends a series; X and Y must have equal lengths.
-func (p *Plot) Add(s Series) {
+// Add appends a series; X and Y must have equal lengths, anything else
+// returns ErrSeriesLength and leaves the plot unchanged.
+func (p *Plot) Add(s Series) error {
 	if len(s.X) != len(s.Y) {
-		panic("stats: series X/Y length mismatch")
+		return fmt.Errorf("%w: %q has %d x values and %d y values", ErrSeriesLength, s.Name, len(s.X), len(s.Y))
 	}
 	if s.Marker == 0 {
 		s.Marker = "*+ox#@"[len(p.series)%6]
 	}
 	p.series = append(p.series, s)
+	return nil
 }
 
 // Render draws the plot with the given interior width and height in

@@ -10,7 +10,9 @@ import (
 func TestPlotMarkerCycle(t *testing.T) {
 	p := NewPlot("t", "x", "y")
 	for i := 0; i < 3; i++ {
-		p.Add(Series{Name: "s", X: []float64{1}, Y: []float64{1}})
+		if err := p.Add(Series{Name: "s", X: []float64{1}, Y: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	out := p.Render(20, 6)
 	for _, want := range []string{"* = s", "+ = s", "o = s"} {
@@ -24,7 +26,9 @@ func TestPlotMarkerCycle(t *testing.T) {
 // instead of clamping the floor to 0.
 func TestPlotNegativeY(t *testing.T) {
 	p := NewPlot("", "x", "y")
-	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{-2, 4}})
+	if err := p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{-2, 4}}); err != nil {
+		t.Fatal(err)
+	}
 	out := p.Render(20, 6)
 	if !strings.Contains(out, "-2") {
 		t.Errorf("negative minimum not on the axis:\n%s", out)
@@ -36,7 +40,9 @@ func TestPlotNegativeY(t *testing.T) {
 func TestPlotLogSkipsNonPositive(t *testing.T) {
 	p := NewPlot("", "x", "y")
 	p.LogY = true
-	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, -5}})
+	if err := p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, -5}}); err != nil {
+		t.Fatal(err)
+	}
 	if out := p.Render(20, 6); out != "(empty plot)\n" {
 		t.Errorf("log plot of non-positive data = %q", out)
 	}
@@ -46,7 +52,9 @@ func TestPlotLogSkipsNonPositive(t *testing.T) {
 // expand to a unit range around it.
 func TestPlotSinglePoint(t *testing.T) {
 	p := NewPlot("one", "x", "y")
-	p.Add(Series{Name: "s", Marker: '#', X: []float64{3}, Y: []float64{7}})
+	if err := p.Add(Series{Name: "s", Marker: '#', X: []float64{3}, Y: []float64{7}}); err != nil {
+		t.Fatal(err)
+	}
 	out := p.Render(20, 6)
 	if !strings.Contains(out, "#") {
 		t.Errorf("marker not rendered:\n%s", out)

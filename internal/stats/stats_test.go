@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -107,8 +108,12 @@ func TestTableExtraCells(t *testing.T) {
 
 func TestPlotRender(t *testing.T) {
 	p := NewPlot("title", "cores", "speedup")
-	p.Add(Series{Name: "a", Marker: '*', X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}})
-	p.Add(Series{Name: "b", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}})
+	if err := p.Add(Series{Name: "a", Marker: '*', X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Series{Name: "b", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
 	out := p.Render(30, 10)
 	for _, want := range []string{"title", "*", "cores", "a", "b", "speedup"} {
 		if !strings.Contains(out, want) {
@@ -126,7 +131,9 @@ func TestPlotRender(t *testing.T) {
 func TestPlotLogScale(t *testing.T) {
 	p := NewPlot("log", "x", "y")
 	p.LogY = true
-	p.Add(Series{Name: "s", Marker: '#', X: []float64{1, 2, 3}, Y: []float64{1, 100, 0}})
+	if err := p.Add(Series{Name: "s", Marker: '#', X: []float64{1, 2, 3}, Y: []float64{1, 100, 0}}); err != nil {
+		t.Fatal(err)
+	}
 	out := p.Render(20, 8)
 	if !strings.Contains(out, "log scale") {
 		t.Error("log scale not labelled")
@@ -144,11 +151,14 @@ func TestPlotEmpty(t *testing.T) {
 	}
 }
 
-func TestPlotMismatchedSeriesPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	NewPlot("", "", "").Add(Series{X: []float64{1}, Y: nil})
+func TestPlotMismatchedSeriesError(t *testing.T) {
+	p := NewPlot("", "", "")
+	err := p.Add(Series{Name: "bad", X: []float64{1}, Y: nil})
+	if !errors.Is(err, ErrSeriesLength) {
+		t.Errorf("Add error = %v, want errors.Is ErrSeriesLength", err)
+	}
+	// The rejected series must not have been half-added.
+	if got := p.Render(20, 8); got != "(empty plot)\n" {
+		t.Errorf("rejected series leaked into the plot:\n%s", got)
+	}
 }

@@ -61,6 +61,16 @@ func FastOptions() Options {
 	return Options{SimplifyStep: 40, FinalStep: 8, MaxDPIters: 10, SkipLocalInit: true}
 }
 
+// Key returns a canonical encoding of the effective search settings,
+// for use as the kernel component of memoization keys (pairstore): two
+// option values produce equal keys iff Compare would behave
+// identically under them.
+func (o Options) Key() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("tmalign/s%d:f%d:i%d:l%t:n%d:a%t:d%g",
+		o.SimplifyStep, o.FinalStep, o.MaxDPIters, o.SkipLocalInit, o.NormLength, o.NormAvg, o.D0)
+}
+
 func (o Options) withDefaults() Options {
 	d := DefaultOptions()
 	if o.SimplifyStep <= 0 {
