@@ -242,6 +242,42 @@ func BenchmarkCacheBatch(b *testing.B) {
 	b.ReportMetric(hitRate, "cache_hit_rate")
 }
 
+// BenchmarkChipScaling is the multi-chip scale-out curve: CK34 sharded
+// across 1, 2, 4 and 8 SCC chips at 47 slaves each over the default
+// board interconnect. Reported metrics are the 1- and 8-chip simulated
+// times, the 8-chip scaling efficiency (speedup over 1 chip divided by
+// 8), and the 8-chip interconnect volume and peak root-inbox depth —
+// the two signals that show the root master becoming the next
+// bottleneck. Feeds BENCH_pr6.json; run with -benchtime=1x.
+func BenchmarkChipScaling(b *testing.B) {
+	env := loadEnv(b)
+	var t1, t8, eff8, interMB, inbox8 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 2, 4, 8} {
+			cfg := core.MultiChipConfig{Config: core.DefaultConfig(), Chips: n}
+			r, err := core.RunMultiChip(env.CK34, 47, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch n {
+			case 1:
+				t1 = r.TotalSeconds
+			case 8:
+				t8 = r.TotalSeconds
+				eff8 = t1 / r.TotalSeconds / 8
+				interMB = float64(r.Interchip.Bytes) / 1e6
+				inbox8 = float64(r.Interchip.PeakRootInbox)
+			}
+		}
+	}
+	b.ReportMetric(t1, "chips1_sim_s")
+	b.ReportMetric(t8, "chips8_sim_s")
+	b.ReportMetric(eff8, "chips8_efficiency")
+	b.ReportMetric(interMB, "chips8_interchip_mb")
+	b.ReportMetric(inbox8, "chips8_peak_root_inbox")
+}
+
 // BenchmarkMCPSC exercises the multi-criteria extension end to end: a
 // one-vs-all query with three methods partitioned over 12 slaves.
 func BenchmarkMCPSC(b *testing.B) {

@@ -35,6 +35,17 @@
 // -faults takes a fault-injection spec (see internal/fault.ParseSpec),
 // e.g. "seed=1;kill=12@40;kill=30@90;drop=*>0@p0.01", and switches the
 // run onto the fault-tolerant farm protocol.
+//
+// -chips N shards the pair matrix across N simulated SCC chips joined
+// by a board-level interconnect: a root master on chip 0 scatters whole
+// tile blocks to per-chip sub-masters, each chip farms its shard on its
+// own mesh, and results stream back over the fabric. -chips 1 (the
+// default) is the classic single-chip run, byte-identical in reports
+// and -scores-out dumps. -interchip selects the interconnect cost
+// profile: a name (board, cluster, ideal) or "lat=2e-6,bw=1.6e9
+// [,recv=5e-7][,ports=1]" (unset keys inherit the board profile).
+// Fault plans, -affinity, -hierarchy and -membudget are single-chip
+// features and rejected at -chips > 1.
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 	"rckalign/internal/costmodel"
 	"rckalign/internal/farm"
 	"rckalign/internal/fault"
+	"rckalign/internal/interchip"
 	"rckalign/internal/metrics"
 	"rckalign/internal/pairstore"
 	"rckalign/internal/rckskel"
@@ -75,50 +87,85 @@ type cliFlags struct {
 	Batch       int
 	Tile        int
 	HostPar     int
+	Chips       int
+	Interchip   string
+	Affinity    bool
+	FaultSpec   string
 }
 
+// maxChips bounds -chips: beyond 64 chips the single root master is the
+// whole story and the simulation only burns memory.
+const maxChips = 64
+
 // validateFlags rejects out-of-range flag values with a one-line
-// diagnostic before the dataset is even loaded, and resolves the job
-// ordering. Values with documented sentinel semantics (-structcache -1,
-// -tile -1, -batch 0, -polling 0) stay valid.
-func validateFlags(f cliFlags) (sched.Order, error) {
+// diagnostic before the dataset is even loaded, resolving the job
+// ordering and the interchip profile. Values with documented sentinel
+// semantics (-structcache -1, -tile -1, -batch 0, -polling 0) stay
+// valid. Single-chip-only features (-faults, -affinity, -hierarchy,
+// -membudget) are rejected in combination with -chips > 1 here, so the
+// conflict costs one line instead of a loaded dataset.
+func validateFlags(f cliFlags) (sched.Order, interchip.Config, error) {
+	var icfg interchip.Config
 	ord, ok := map[string]sched.Order{
 		"FIFO": sched.FIFO, "LPT": sched.LPT, "SPT": sched.SPT, "RANDOM": sched.Random,
 	}[strings.ToUpper(f.Order)]
 	if !ok {
-		return 0, fmt.Errorf("-order %q is not FIFO, LPT, SPT or Random", f.Order)
+		return 0, icfg, fmt.Errorf("-order %q is not FIFO, LPT, SPT or Random", f.Order)
 	}
 	if !f.Sweep && (f.Slaves < 1 || f.Slaves > 47) {
-		return 0, fmt.Errorf("-slaves %d outside [1,47]", f.Slaves)
+		return 0, icfg, fmt.Errorf("-slaves %d outside [1,47]", f.Slaves)
 	}
 	if f.Hierarchy < 0 {
-		return 0, fmt.Errorf("-hierarchy %d is negative", f.Hierarchy)
+		return 0, icfg, fmt.Errorf("-hierarchy %d is negative", f.Hierarchy)
 	}
 	if f.Threads < 1 {
-		return 0, fmt.Errorf("-threads %d below 1", f.Threads)
+		return 0, icfg, fmt.Errorf("-threads %d below 1", f.Threads)
 	}
 	if f.MemBudget < 0 {
-		return 0, fmt.Errorf("-membudget %d is negative", f.MemBudget)
+		return 0, icfg, fmt.Errorf("-membudget %d is negative", f.MemBudget)
 	}
 	if f.Deadline < 0 {
-		return 0, fmt.Errorf("-deadline %g is negative", f.Deadline)
+		return 0, icfg, fmt.Errorf("-deadline %g is negative", f.Deadline)
 	}
 	if f.Polling < 0 {
-		return 0, fmt.Errorf("-polling %g is negative", f.Polling)
+		return 0, icfg, fmt.Errorf("-polling %g is negative", f.Polling)
 	}
 	if f.StructCache < -1 {
-		return 0, fmt.Errorf("-structcache %d below -1 (-1 = derive, 0 = off)", f.StructCache)
+		return 0, icfg, fmt.Errorf("-structcache %d below -1 (-1 = derive, 0 = off)", f.StructCache)
 	}
 	if f.Batch < 0 {
-		return 0, fmt.Errorf("-batch %d is negative (0 or 1 = one message per job)", f.Batch)
+		return 0, icfg, fmt.Errorf("-batch %d is negative (0 or 1 = one message per job)", f.Batch)
 	}
 	if f.Tile < -1 {
-		return 0, fmt.Errorf("-tile %d below -1 (-1 = force off, 0 = auto)", f.Tile)
+		return 0, icfg, fmt.Errorf("-tile %d below -1 (-1 = force off, 0 = auto)", f.Tile)
 	}
 	if f.HostPar < 0 {
-		return 0, fmt.Errorf("-hostpar %d is negative (0 = serial host evaluation)", f.HostPar)
+		return 0, icfg, fmt.Errorf("-hostpar %d is negative (0 = serial host evaluation)", f.HostPar)
 	}
-	return ord, nil
+	if f.Chips < 1 || f.Chips > maxChips {
+		return 0, icfg, fmt.Errorf("-chips %d outside [1,%d]", f.Chips, maxChips)
+	}
+	if f.Interchip == "" {
+		icfg = interchip.DefaultConfig()
+	} else {
+		var err error
+		if icfg, err = interchip.ParseSpec(f.Interchip); err != nil {
+			return 0, icfg, fmt.Errorf("-interchip %q: %v", f.Interchip, err)
+		}
+	}
+	if f.Chips > 1 {
+		switch {
+		case f.FaultSpec != "":
+			return 0, icfg, fmt.Errorf("-chips %d with -faults is unsupported (fault plans are single-chip)", f.Chips)
+		case f.Affinity:
+			return 0, icfg, fmt.Errorf("-chips %d with -affinity is unsupported (affinity queues are single-chip)", f.Chips)
+		case f.Hierarchy > 0:
+			return 0, icfg, fmt.Errorf("-chips %d with -hierarchy is unsupported (the chips are the hierarchy)", f.Chips)
+		case f.MemBudget > 0:
+			return 0, icfg, fmt.Errorf("-chips %d with -membudget is unsupported (tiled runs are single-chip)", f.Chips)
+		}
+	}
+	return ord, icfg, nil
 }
 
 func main() {
@@ -145,13 +192,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the (last) run to this file")
 	heatmap := flag.Bool("heatmap", false, "print the mesh link heatmap of the (last) run")
 	hostpar := flag.Int("hostpar", runtime.GOMAXPROCS(0), "host worker goroutines for native pair evaluation on a cache miss (0 = serial; simulated results are identical either way)")
+	chips := flag.Int("chips", 1, "shard the pair matrix across this many SCC chips (1 = the classic single-chip run, byte-identical reports and scores)")
+	interchipSpec := flag.String("interchip", "", "inter-chip interconnect profile: board, cluster, ideal, or \"lat=S,bw=B[,recv=S][,ports=N]\" (empty = board; only meaningful with -chips > 1)")
 	flag.Parse()
 
-	ord, err := validateFlags(cliFlags{
+	ord, icfg, err := validateFlags(cliFlags{
 		Slaves: *slaves, Sweep: *sweep, Order: *order, Hierarchy: *hierarchy,
 		Threads: *threads, MemBudget: *memBudget, Deadline: *deadline,
 		Polling: *polling, StructCache: *structCache, Batch: *batch,
-		Tile: *tile, HostPar: *hostpar,
+		Tile: *tile, HostPar: *hostpar, Chips: *chips, Interchip: *interchipSpec,
+		Affinity: *affinity, FaultSpec: *faultSpec,
 	})
 	if err != nil {
 		usageFatal(err)
@@ -236,7 +286,15 @@ func main() {
 		reg = metrics.New()
 		cfg.Metrics = reg
 		var rep farm.Report
-		if *memBudget > 0 {
+		if *chips > 1 {
+			r, err := core.RunMultiChip(pr, n, core.MultiChipConfig{
+				Config: cfg, Chips: *chips, Interchip: icfg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			rep = r.Report
+		} else if *memBudget > 0 {
 			tcfg := core.DefaultTiledConfig(*memBudget)
 			tcfg.Config = cfg
 			tcfg.MemoryBudgetResidues = *memBudget
@@ -273,6 +331,19 @@ func main() {
 				n, float64(w.BaselineInputBytes)/1e6, float64(w.ShippedInputBytes)/1e6, w.InputReduction,
 				w.CacheCapacity, 100*w.CacheHitRate, w.CacheEvictions,
 				w.Batches, w.MeanBatchJobs, w.MaxBatchJobs)
+		}
+		if ic := rep.Interchip; ic != nil {
+			fmt.Fprintf(os.Stderr,
+				"interchip (%d chips x %d slaves, %s): transfers=%d total %.2f MB (shards %.2f MB, results %.2f MB); "+
+					"send-wait %.3f s; peak root inbox=%d; intra-chip %.2f MB\n",
+				rep.Chips, n, ic.Profile, ic.Transfers, float64(ic.Bytes)/1e6,
+				float64(ic.ShardBytes)/1e6, float64(ic.ResultBytes)/1e6,
+				ic.SendWaitSeconds, ic.PeakRootInbox, float64(ic.IntraChipBytes)/1e6)
+			for _, cr := range rep.PerChip {
+				fmt.Fprintf(os.Stderr, "  chip %d (%s): jobs=%d mean-util=%.1f%% peak-mbox=%.0f shard %.2f MB results %.2f MB\n",
+					cr.Chip, cr.Master, cr.Collected, 100*cr.MeanUtilization,
+					cr.PeakMailboxDepth, float64(cr.ShardBytes)/1e6, float64(cr.ResultBytes)/1e6)
+			}
 		}
 		if f := rep.Faults; f != nil {
 			fmt.Fprintf(os.Stderr,

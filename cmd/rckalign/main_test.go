@@ -4,13 +4,14 @@ import (
 	"strings"
 	"testing"
 
+	"rckalign/internal/interchip"
 	"rckalign/internal/sched"
 )
 
 // valid returns a flag set that passes validation; tests mutate one
 // field at a time.
 func valid() cliFlags {
-	return cliFlags{Slaves: 47, Order: "FIFO", Threads: 1, Polling: 1}
+	return cliFlags{Slaves: 47, Order: "FIFO", Threads: 1, Polling: 1, Chips: 1}
 }
 
 func TestValidateFlags(t *testing.T) {
@@ -39,12 +40,24 @@ func TestValidateFlags(t *testing.T) {
 		{"tile below sentinel", func(f *cliFlags) { f.Tile = -2 }, "-tile"},
 		{"hostpar zero is serial", func(f *cliFlags) { f.HostPar = 0 }, ""},
 		{"hostpar negative", func(f *cliFlags) { f.HostPar = -4 }, "-hostpar"},
+		{"chips four", func(f *cliFlags) { f.Chips = 4 }, ""},
+		{"chips zero", func(f *cliFlags) { f.Chips = 0 }, "-chips"},
+		{"chips above cap", func(f *cliFlags) { f.Chips = 65 }, "-chips"},
+		{"interchip named profile", func(f *cliFlags) { f.Chips = 2; f.Interchip = "cluster" }, ""},
+		{"interchip key-value spec", func(f *cliFlags) { f.Chips = 2; f.Interchip = "lat=1e-6,bw=2e9" }, ""},
+		{"interchip unknown profile", func(f *cliFlags) { f.Interchip = "warp" }, "-interchip"},
+		{"interchip bad value", func(f *cliFlags) { f.Interchip = "bw=fast" }, "-interchip"},
+		{"chips with faults", func(f *cliFlags) { f.Chips = 2; f.FaultSpec = "kill=3@10" }, "-faults"},
+		{"chips with affinity", func(f *cliFlags) { f.Chips = 2; f.Affinity = true }, "-affinity"},
+		{"chips with hierarchy", func(f *cliFlags) { f.Chips = 2; f.Hierarchy = 4 }, "-hierarchy"},
+		{"chips with membudget", func(f *cliFlags) { f.Chips = 2; f.MemBudget = 5000 }, "-membudget"},
+		{"single chip keeps faults", func(f *cliFlags) { f.Chips = 1; f.FaultSpec = "kill=3@10" }, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			f := valid()
 			tc.mut(&f)
-			_, err := validateFlags(f)
+			_, _, err := validateFlags(f)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("validateFlags(%+v) = %v, want ok", f, err)
@@ -64,6 +77,20 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+func TestValidateFlagsResolvesInterchip(t *testing.T) {
+	f := valid()
+	_, got, err := validateFlags(f)
+	if err != nil || got != interchip.DefaultConfig() {
+		t.Errorf("empty -interchip resolved to %+v (err %v), want the board profile", got, err)
+	}
+	f.Interchip = "cluster"
+	_, got, err = validateFlags(f)
+	cluster, _ := interchip.Profile("cluster")
+	if err != nil || got != cluster {
+		t.Errorf("-interchip cluster resolved to %+v (err %v), want %+v", got, err, cluster)
+	}
+}
+
 func TestValidateFlagsResolvesOrder(t *testing.T) {
 	for in, want := range map[string]sched.Order{
 		"FIFO": sched.FIFO, "fifo": sched.FIFO,
@@ -71,7 +98,7 @@ func TestValidateFlagsResolvesOrder(t *testing.T) {
 	} {
 		f := valid()
 		f.Order = in
-		got, err := validateFlags(f)
+		got, _, err := validateFlags(f)
 		if err != nil {
 			t.Errorf("order %q rejected: %v", in, err)
 			continue

@@ -510,6 +510,71 @@ func CacheBatchAblation(pr *core.PairResults) (*stats.Table, error) {
 	return tb, nil
 }
 
+// ChipScalingSweep runs the multi-chip sharded farm over both datasets
+// at 1/2/4/8 chips (47 slaves each), the scale-out scaling curve.
+func (e *Env) ChipScalingSweep() ([]*stats.Table, error) {
+	var out []*stats.Table
+	for _, pr := range []*core.PairResults{e.CK34, e.RS119} {
+		if pr == nil {
+			continue
+		}
+		tb, err := ChipScalingSweep(pr, 47, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// ChipScalingSweep is the underlying sweep over any workload: the same
+// all-vs-all task sharded across each chip count (nil = 1, 2, 4, 8) at
+// slavesPerChip slaves per chip. Speedup and efficiency are relative to
+// the first (usually 1-chip) point, so efficiency reads directly as
+// "how much of the added silicon the root master wastes"; the peak
+// mailbox and root inbox columns show where the single root saturates,
+// and the inter-/intra-chip MB columns split the wire volume by
+// interconnect tier.
+func ChipScalingSweep(pr *core.PairResults, slavesPerChip int, chipCounts []int) (*stats.Table, error) {
+	if len(chipCounts) == 0 {
+		chipCounts = []int{1, 2, 4, 8}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Scaling: multi-chip sharded farm (%s all-vs-all, %d slaves/chip)",
+			pr.Dataset.Name, slavesPerChip),
+		"Chips", "Slaves", "Time (s)", "Speedup", "Efficiency",
+		"Peak Mbox", "Root Inbox", "Inter MB", "Intra MB")
+	base, baseChips := 0.0, 0
+	for _, n := range chipCounts {
+		reg := metrics.New()
+		cfg := core.MultiChipConfig{Config: core.DefaultConfig(), Chips: n}
+		cfg.Metrics = reg
+		r, err := core.RunMultiChip(pr, slavesPerChip, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base, baseChips = r.TotalSeconds, n
+		}
+		speedup := base / r.TotalSeconds
+		efficiency := speedup * float64(baseChips) / float64(n)
+		peakMbox := 0.0
+		if r.Metrics != nil {
+			peakMbox = r.Metrics.PeakMailboxDepth
+		}
+		rootInbox, interMB := "-", "-"
+		intraMB := float64(reg.Counter("rcce.send.bytes").Value()) / 1e6
+		if ic := r.Interchip; ic != nil {
+			rootInbox = fmt.Sprintf("%d", ic.PeakRootInbox)
+			interMB = fmt.Sprintf("%.2f", float64(ic.Bytes)/1e6)
+			intraMB = float64(ic.IntraChipBytes) / 1e6
+		}
+		tb.AddRowf(n, n*slavesPerChip, r.TotalSeconds, speedup, efficiency,
+			fmt.Sprintf("%.0f", peakMbox), rootInbox, interMB, intraMB)
+	}
+	return tb, nil
+}
+
 // MCPSCPartitionAblation studies the paper's MC-PSC open question —
 // how to split the chip's cores among comparison methods of very
 // different complexity — by running a multi-criteria all-vs-all task

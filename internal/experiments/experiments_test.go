@@ -222,3 +222,23 @@ func TestResilienceSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestChipScalingSweep(t *testing.T) {
+	tb, err := ChipScalingSweep(synthCK34(), 12, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("chip scaling rows = %d, want 3", tb.NumRows())
+	}
+	out := tb.String()
+	for _, want := range []string{"Chips", "Efficiency", "Root Inbox", "Inter MB", "Intra MB", "slaves/chip"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chip scaling table missing %q:\n%s", want, out)
+		}
+	}
+	// The 1-chip row has no interchip tier.
+	if !strings.Contains(out, "-") {
+		t.Errorf("1-chip row should dash out the interchip columns:\n%s", out)
+	}
+}

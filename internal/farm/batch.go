@@ -145,16 +145,16 @@ func (s *Session) PrepareJobs(jobs []rckskel.Job, wm WireModel) []rckskel.Job {
 	}
 	if cached {
 		if s.cache == nil {
-			s.cache = NewStructCache(s.cfg.CacheStructs, wm.Sizes, maxRequest, s.cfg.Metrics)
+			s.cache = NewStructCache(s.cfg.CacheStructs, wm.Sizes, maxRequest, s.cfg.Metrics, s.labels...)
 		} else {
 			s.cache.EnsureCapacity(maxRequest)
 		}
 	}
 	if s.hBatchJobs == nil {
-		s.hBatchJobs = s.cfg.Metrics.Histogram("farm.batch.jobs", metrics.CountBuckets)
-		s.cDispatches = s.cfg.Metrics.Counter("farm.wire.dispatches")
-		s.cInputBaseline = s.cfg.Metrics.Counter("farm.wire.input_bytes_baseline")
-		s.cInputShipped = s.cfg.Metrics.Counter("farm.wire.input_bytes_shipped")
+		s.hBatchJobs = s.cfg.Metrics.Histogram("farm.batch.jobs", metrics.CountBuckets, s.labels...)
+		s.cDispatches = s.cfg.Metrics.Counter("farm.wire.dispatches", s.labels...)
+		s.cInputBaseline = s.cfg.Metrics.Counter("farm.wire.input_bytes_baseline", s.labels...)
+		s.cInputShipped = s.cfg.Metrics.Counter("farm.wire.input_bytes_shipped", s.labels...)
 	}
 	out := make([]rckskel.Job, 0, len(groups))
 	for g, group := range groups {

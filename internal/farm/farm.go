@@ -22,8 +22,11 @@ package farm
 import (
 	"fmt"
 
+	"strings"
+
 	"rckalign/internal/costmodel"
 	"rckalign/internal/fault"
+	"rckalign/internal/interchip"
 	"rckalign/internal/metrics"
 	"rckalign/internal/rcce"
 	"rckalign/internal/rckskel"
@@ -33,10 +36,20 @@ import (
 )
 
 // Runtime bundles the simulated platform objects a farm executes on.
+// Chip and Comm are the first (often only) chip; a multi-chip backend
+// additionally fills Chips/Comms with every chip and Fabric with the
+// board-level interconnect joining them.
 type Runtime struct {
 	Engine *sim.Engine
 	Chip   *scc.Chip
 	Comm   *rcce.Comm
+	// Chips and Comms list every chip of a multi-chip runtime
+	// (Chips[0] == Chip); nil on single-chip backends.
+	Chips []*scc.Chip
+	Comms []*rcce.Comm
+	// Fabric is the inter-chip interconnect (nil on single-chip
+	// backends).
+	Fabric *interchip.Fabric
 }
 
 // Backend constructs fresh runtimes. The simulated SCC is the only
@@ -192,6 +205,70 @@ type Report struct {
 	// Wire summarises the cache/batch wire model: hit rate, input bytes
 	// saved, batch statistics (nil on classic runs).
 	Wire *WireReport
+	// Chips is the chip count of a multi-chip run (0 on the classic
+	// single-chip paths, whose reports stay bit-identical).
+	Chips int
+	// PerChip breaks a multi-chip run down chip by chip (nil otherwise).
+	PerChip []ChipReport
+	// Interchip summarises the board-level interconnect traffic of a
+	// multi-chip run (nil otherwise).
+	Interchip *InterchipReport
+}
+
+// ChipReport is one chip's slice of a multi-chip Report.
+type ChipReport struct {
+	// Chip is the chip index; Master the sub-master core's name
+	// ("c1.rck00"; chip 0's master is the root).
+	Chip   int
+	Master string
+	// Collected counts results gathered by this chip's (sub-)master.
+	Collected int
+	// TotalSeconds is when this chip's master finished (for remote
+	// chips: after farming its shard and forwarding every result).
+	TotalSeconds float64
+	// FarmStats is the chip-local farm execution's statistics
+	// (JobsPerSlave keyed by chip-local core id).
+	FarmStats rckskel.Stats
+	// MeanUtilization averages the busy fraction of this chip's traced
+	// cores over the run window.
+	MeanUtilization float64
+	// PeakMailboxDepth is the chip master's deepest mailbox (0 without
+	// metrics).
+	PeakMailboxDepth float64
+	// Wire is the chip-local cache/batch wire accounting (nil when the
+	// wire model is off).
+	Wire *WireReport
+	// ShardBytes is what crossing the fabric to hand this chip its
+	// shard cost (0 for chip 0, whose shard never leaves the root).
+	ShardBytes int64
+	// ResultBytes is the result traffic this chip returned over the
+	// fabric (0 for chip 0).
+	ResultBytes int64
+}
+
+// InterchipReport is the Report block for the board-level interconnect
+// tier of a multi-chip run, built from the fabric's own accounting (no
+// metrics registry needed).
+type InterchipReport struct {
+	// Profile echoes the interconnect cost profile.
+	Profile string
+	// Transfers and Bytes count every fabric message.
+	Transfers int64
+	Bytes     int64
+	// ShardBytes and ResultBytes split Bytes into the outbound shard
+	// descriptors and the returned results (the remainder is control).
+	ShardBytes  int64
+	ResultBytes int64
+	// SendWaitSeconds is total sender time lost to port contention.
+	SendWaitSeconds float64
+	// PeakRootInbox is the deepest the root chip's inbox got — the
+	// direct signal for when the single root master saturates.
+	PeakRootInbox int
+	// IntraChipBytes sums the on-chip RCCE wire volume across all chips
+	// (only available when the run had a metrics registry; 0 otherwise).
+	// Comparing it with Bytes gives the inter- vs intra-chip traffic
+	// split.
+	IntraChipBytes int64
 }
 
 // MetricsReport is the Report block distilled from the metrics registry:
@@ -259,6 +336,10 @@ type Session struct {
 	rep      Report
 	injector *fault.Injector
 	ft       rckskel.FTStats
+	// labels scope this session's fixed metric keys (multi-chip runs
+	// label each chip session "chip"/"cN"; nil on classic sessions, so
+	// their keys stay bit-identical).
+	labels []string
 
 	// Cache/batch wire model state (see batch.go / structcache.go).
 	cache          *StructCache
@@ -276,6 +357,13 @@ func NewSession(cfg Config) (*Session, error) {
 	if cfg.Backend == nil {
 		cfg.Backend = SCCSim{Chip: scc.DefaultConfig()}
 	}
+	return newSession(cfg, cfg.Backend.NewRuntime(), nil)
+}
+
+// newSession is NewSession on an injected runtime: a multi-chip session
+// builds one chip-level Session per chip, all sharing one engine and
+// trace recorder, each scoped by labels ("chip"/"cN").
+func newSession(cfg Config, rt Runtime, labels []string) (*Session, error) {
 	place, err := Place(cfg)
 	if err != nil {
 		return nil, err
@@ -287,16 +375,16 @@ func NewSession(cfg Config) (*Session, error) {
 	if rec == nil {
 		rec = trace.New()
 	}
-	s := &Session{cfg: cfg, rt: cfg.Backend.NewRuntime(), place: place, rec: rec}
+	s := &Session{cfg: cfg, rt: rt, place: place, rec: rec, labels: labels}
 	if cfg.Metrics != nil {
 		if s.rt.Engine != nil {
 			s.rt.Engine.SetMetrics(cfg.Metrics)
 		}
 		if s.rt.Chip != nil {
-			s.rt.Chip.Mesh().SetMetrics(cfg.Metrics)
+			s.rt.Chip.Mesh().SetMetrics(cfg.Metrics, labels...)
 		}
 		if s.rt.Comm != nil {
-			s.rt.Comm.SetMetrics(cfg.Metrics)
+			s.rt.Comm.SetMetrics(cfg.Metrics, labels...)
 		}
 	}
 	if cfg.Faults != nil {
@@ -388,7 +476,7 @@ func (s *Session) NewTeam(master int, slaves []int) *rckskel.Team {
 		t.DiscoveryCostScale = s.cfg.PollingScale
 	}
 	t.Trace = s.rec
-	t.SetMetrics(s.cfg.Metrics)
+	t.SetMetrics(s.cfg.Metrics, s.labels...)
 	return t
 }
 
@@ -462,6 +550,17 @@ func (s *Session) mergeStats(st rckskel.Stats) {
 // spawned) before Run is called, matching the construction order of the
 // hand-rolled run paths this layer replaces.
 func (s *Session) Run(name string, body func(m *Master)) (Report, error) {
+	s.SpawnMaster(name, body)
+	err := s.rt.Engine.Run()
+	s.finalize()
+	return s.rep, err
+}
+
+// SpawnMaster schedules the master process without running the engine:
+// multi-chip sessions spawn one master per chip session (sub-masters
+// plus the root) and then drive the shared engine once. Session.Run is
+// SpawnMaster + engine run + finalize.
+func (s *Session) SpawnMaster(name string, body func(m *Master)) {
 	master := &Master{s: s}
 	wrapped := func(p *sim.Process) {
 		master.P = p
@@ -476,15 +575,21 @@ func (s *Session) Run(name string, body func(m *Master)) (Report, error) {
 	} else {
 		s.rt.Chip.SpawnCore(s.cfg.MasterCore, wrapped)
 	}
-	err := s.rt.Engine.Run()
-	s.finalize()
-	return s.rep, err
 }
 
 // finalize derives the per-core busy/utilization columns from the
-// trace and, on fault-tolerant runs, the fault summary block.
+// trace and, on fault-tolerant runs, the fault summary block. A chip
+// session of a multi-chip run shares the recorder with its siblings,
+// so it keeps only the tracks matching its own chip's core-name prefix.
 func (s *Session) finalize() {
+	prefix := ""
+	if s.rt.Chip != nil {
+		prefix = s.rt.Chip.Config().NamePrefix
+	}
 	for _, track := range s.rec.Tracks() {
+		if prefix != "" && !strings.HasPrefix(track, prefix) {
+			continue
+		}
 		busy := s.rec.BusySeconds(track)
 		s.rep.CoreBusySeconds[track] = busy
 		if s.rep.TotalSeconds > 0 {
@@ -493,11 +598,11 @@ func (s *Session) finalize() {
 	}
 	if reg := s.cfg.Metrics; reg != nil {
 		mr := &MetricsReport{
-			PeakMailboxDepth: reg.Gauge("farm.master.mailbox_peak").Value(),
+			PeakMailboxDepth: reg.Gauge("farm.master.mailbox_peak", s.labels...).Value(),
 			JobStages:        map[string]StageAgg{},
 		}
 		for _, stage := range jobStageNames {
-			h := reg.Histogram("farm.job."+stage+"_seconds", metrics.TimeBuckets)
+			h := reg.Histogram("farm.job."+stage+"_seconds", metrics.TimeBuckets, s.labels...)
 			mr.JobStages[stage] = StageAgg{
 				Count:        h.Count(),
 				TotalSeconds: h.Sum(),

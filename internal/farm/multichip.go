@@ -1,0 +1,447 @@
+// Multi-chip farming: N SCC chips behind one Backend, joined by the
+// interchip fabric, farmed hierarchically — a root master on chip 0
+// core 0 ships each remote chip its shard of the job list over the
+// fabric, that chip's sub-master (its core 0) FARMs the shard to its
+// own slaves over its own mesh, and every result streams back to the
+// root over the fabric. Chip 0's shard is farmed by the root itself, so
+// a multi-chip system degenerates gracefully: the root does exactly the
+// paper's single-master job on its own chip, plus the scatter/gather at
+// the board tier. Each chip is a full Session (placement, team, wire
+// model, metrics scoped "chip"/"cN"), all sharing one engine and trace
+// recorder; MultiSession owns construction, the master bodies, and the
+// combined Report with per-chip and interconnect breakdowns.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rckalign/internal/interchip"
+	"rckalign/internal/metrics"
+	"rckalign/internal/rcce"
+	"rckalign/internal/rckskel"
+	"rckalign/internal/scc"
+	"rckalign/internal/sim"
+	"rckalign/internal/trace"
+)
+
+// ErrChipCount reports a MultiSession configured with fewer than two
+// chips — a 1-chip system must run the classic flat path, which is
+// bit-identical by construction instead of by simulation accident.
+var ErrChipCount = errors.New("farm: multi-chip session needs at least 2 chips")
+
+// Fabric wire-framing constants for the master→sub-master→master
+// protocol (the board-tier analogue of the batch framing constants).
+const (
+	// ShardHeaderBytes frames one shard descriptor (job table, counts).
+	ShardHeaderBytes = 64
+	// InterchipResultHeaderBytes frames each result forwarded to the
+	// root on top of its on-chip result bytes.
+	InterchipResultHeaderBytes = 16
+	// InterchipControlBytes is the size of a control message
+	// (shard-done).
+	InterchipControlBytes = 64
+)
+
+// MultiChip is the multi-chip Backend: Chips copies of one scc.Config
+// joined by an interchip fabric. Core names are prefixed per chip
+// ("c1.rck00"), so traces, reports and per-core metrics stay
+// distinguishable.
+type MultiChip struct {
+	// Chips is the chip count (>= 2 for a MultiSession).
+	Chips int
+	// Chip is the per-chip configuration (DefaultConfig = Table I).
+	Chip scc.Config
+	// Interchip is the board-level interconnect profile (zero value =
+	// interchip.DefaultConfig).
+	Interchip interchip.Config
+}
+
+// Name implements Backend.
+func (b MultiChip) Name() string { return fmt.Sprintf("multichip-%d", b.Chips) }
+
+// NumCores implements Backend (total across chips).
+func (b MultiChip) NumCores() int { return b.Chips * b.Chip.NumCores() }
+
+// interconnect resolves the zero-value default.
+func (b MultiChip) interconnect() interchip.Config {
+	if b.Interchip == (interchip.Config{}) {
+		return interchip.DefaultConfig()
+	}
+	return b.Interchip
+}
+
+// NewRuntime implements Backend: one engine, Chips prefixed chips with
+// their comms, and the fabric joining them. Chip/Comm alias chip 0.
+func (b MultiChip) NewRuntime() Runtime {
+	engine := sim.NewEngine()
+	chips := make([]*scc.Chip, b.Chips)
+	comms := make([]*rcce.Comm, b.Chips)
+	for c := 0; c < b.Chips; c++ {
+		ccfg := b.Chip
+		ccfg.NamePrefix = fmt.Sprintf("c%d.%s", c, b.Chip.NamePrefix)
+		chips[c] = scc.New(engine, ccfg)
+		comms[c] = rcce.New(chips[c])
+	}
+	return Runtime{
+		Engine: engine,
+		Chip:   chips[0], Comm: comms[0],
+		Chips: chips, Comms: comms,
+		Fabric: interchip.New(b.Chips, b.interconnect()),
+	}
+}
+
+// MultiConfig describes one multi-chip farm session. Fault plans are
+// not supported at the board tier (core ids in a plan are ambiguous
+// across chips); single-chip fault-tolerant runs take the flat path.
+type MultiConfig struct {
+	// Backend is the chip topology (Chips >= 2).
+	Backend MultiChip
+	// SlavesPerChip is the slave-core count on every chip (the chip
+	// master occupies core 0, so at most NumCores-1).
+	SlavesPerChip int
+	// ThreadsPerWorker / ThreadEfficiency / PollingScale as in Config,
+	// applied identically on every chip.
+	ThreadsPerWorker int
+	ThreadEfficiency float64
+	PollingScale     float64
+	// Trace / Metrics / Collector as in Config, shared by all chips
+	// (metric keys are scoped per chip).
+	Trace     *trace.Recorder
+	Metrics   *metrics.Registry
+	Collector Collector
+	// Batch / CacheStructs as in Config, applied per chip — each chip
+	// session owns an independent cache model, so the wire accounting
+	// splits naturally per interconnect tier.
+	Batch        int
+	CacheStructs int
+}
+
+// MultiSession is a constructed multi-chip farm: one chip-level Session
+// per chip on a shared runtime. Start slaves per chip, prepare each
+// chip's job queue through its session (ChipSession(c).PrepareJobs),
+// then call Run.
+type MultiSession struct {
+	cfg      MultiConfig
+	rt       Runtime
+	rec      *trace.Recorder
+	sessions []*Session
+
+	shardBytes  []int64
+	resultBytes []int64
+}
+
+// NewMultiSession validates the configuration and builds the runtime
+// and per-chip sessions.
+func NewMultiSession(cfg MultiConfig) (*MultiSession, error) {
+	if cfg.Backend.Chips < 2 {
+		return nil, fmt.Errorf("%w (got %d)", ErrChipCount, cfg.Backend.Chips)
+	}
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.New()
+	}
+	rt := cfg.Backend.NewRuntime()
+	if cfg.Metrics != nil {
+		rt.Fabric.SetMetrics(cfg.Metrics)
+	}
+	ms := &MultiSession{
+		cfg: cfg, rt: rt, rec: rec,
+		shardBytes:  make([]int64, cfg.Backend.Chips),
+		resultBytes: make([]int64, cfg.Backend.Chips),
+	}
+	for c := 0; c < cfg.Backend.Chips; c++ {
+		scfg := Config{
+			Backend:          SCCSim{Chip: rt.Chips[c].Config()},
+			MasterCore:       0,
+			Slaves:           cfg.SlavesPerChip,
+			ThreadsPerWorker: cfg.ThreadsPerWorker,
+			ThreadEfficiency: cfg.ThreadEfficiency,
+			PollingScale:     cfg.PollingScale,
+			Trace:            rec,
+			Metrics:          cfg.Metrics,
+			Collector:        cfg.Collector,
+			Batch:            cfg.Batch,
+			CacheStructs:     cfg.CacheStructs,
+		}
+		chipRT := Runtime{
+			Engine: rt.Engine,
+			Chip:   rt.Chips[c], Comm: rt.Comms[c],
+			Chips: rt.Chips, Comms: rt.Comms, Fabric: rt.Fabric,
+		}
+		s, err := newSession(scfg, chipRT, []string{"chip", fmt.Sprintf("c%d", c)})
+		if err != nil {
+			return nil, fmt.Errorf("farm: chip %d: %w", c, err)
+		}
+		ms.sessions = append(ms.sessions, s)
+	}
+	return ms, nil
+}
+
+// Chips returns the chip count.
+func (ms *MultiSession) Chips() int { return ms.cfg.Backend.Chips }
+
+// Runtime returns the shared runtime (engine, chips, fabric).
+func (ms *MultiSession) Runtime() Runtime { return ms.rt }
+
+// ChipSession returns chip c's Session (for PrepareJobs, placement
+// inspection and custom slave start).
+func (ms *MultiSession) ChipSession(c int) *Session { return ms.sessions[c] }
+
+// StartSlaves spawns every chip's slave loops with the same handler.
+func (ms *MultiSession) StartSlaves(h rckskel.Handler) {
+	for _, s := range ms.sessions {
+		s.StartSlaves(h)
+	}
+}
+
+// shardMsg hands a chip its job queue; the modelled fabric bytes are
+// the shard descriptor plus the structure payloads (computed by the
+// caller, who owns the wire model).
+type shardMsg struct{ jobs []rckskel.Job }
+
+// resultMsg is a forwarded result: pure transport accounting — the
+// result's bookkeeping (count, Collector) already happened at the
+// sub-master that collected it.
+type resultMsg struct{}
+
+// shardDone signals a chip finished its shard (stats travel in the
+// chip session's report, host-side).
+type shardDone struct{ chip int }
+
+// Run executes the multi-chip farm: queues[c] is chip c's prepared job
+// queue (possibly empty), shardBytes[c] the fabric cost of handing
+// chip c its shard (ignored for chip 0), loadResidues the root's
+// one-time dataset load. It spawns every sub-master and the root,
+// drives the shared engine to completion, and returns the combined
+// report.
+func (ms *MultiSession) Run(loadResidues int, queues [][]rckskel.Job, shardBytes []int64) (Report, error) {
+	n := ms.Chips()
+	if len(queues) != n || len(shardBytes) != n {
+		return Report{}, fmt.Errorf("farm: multi-chip run wants %d queues and shard sizes, got %d and %d",
+			n, len(queues), len(shardBytes))
+	}
+	fabric := ms.rt.Fabric
+	copy(ms.shardBytes, shardBytes)
+	ms.shardBytes[0] = 0
+
+	for c := 1; c < n; c++ {
+		c := c
+		sess := ms.sessions[c]
+		sess.SpawnMaster("", func(m *Master) {
+			msg := fabric.Recv(m.P, c)
+			sm := msg.Payload.(shardMsg)
+			if len(sm.jobs) > 0 {
+				m.Farm(sm.jobs, func(r rckskel.Result) {
+					b := r.Bytes + InterchipResultHeaderBytes
+					ms.resultBytes[c] += int64(b)
+					fabric.Send(m.P, c, 0, b, resultMsg{})
+				})
+			}
+			m.Terminate()
+			fabric.Send(m.P, c, 0, InterchipControlBytes, shardDone{chip: c})
+		})
+	}
+
+	root := ms.sessions[0]
+	root.SpawnMaster("", func(m *Master) {
+		if loadResidues > 0 {
+			m.LoadResidues(loadResidues)
+		}
+		for c := 1; c < n; c++ {
+			fabric.Send(m.P, 0, c, int(ms.shardBytes[c]), shardMsg{jobs: queues[c]})
+		}
+		if len(queues[0]) > 0 {
+			m.Farm(queues[0], nil)
+		}
+		m.Terminate()
+		// Gather: remote results and shard-done markers arrive through
+		// the root inbox in fabric order; results were booked at their
+		// sub-master, so the drain only pays the transport and handling
+		// time — which is exactly where a saturated root shows up.
+		for pending := n - 1; pending > 0; {
+			msg := fabric.Recv(m.P, 0)
+			if _, ok := msg.Payload.(shardDone); ok {
+				pending--
+			}
+		}
+	})
+
+	err := ms.rt.Engine.Run()
+	return ms.finalize(), err
+}
+
+// finalize folds the chip sessions into the combined multi-chip report.
+func (ms *MultiSession) finalize() Report {
+	n := ms.Chips()
+	root := ms.sessions[0]
+	coresPerChip := ms.cfg.Backend.Chip.NumCores()
+
+	rep := Report{
+		Backend:              ms.cfg.Backend.Name(),
+		Slaves:               n * ms.cfg.SlavesPerChip,
+		Chips:                n,
+		LoadSeconds:          root.rep.LoadSeconds,
+		TotalSeconds:         root.rep.TotalSeconds,
+		FarmStats:            rckskel.Stats{JobsPerSlave: map[int]int{}},
+		CoreBusySeconds:      map[string]float64{},
+		CoreUtilization:      map[string]float64{},
+		BusySecondsPerMethod: map[string]float64{},
+	}
+
+	for c, s := range ms.sessions {
+		s.finalize()
+		rep.Workers += s.rep.Workers
+		rep.EffectiveCores += s.rep.EffectiveCores
+		rep.DroppedCores += s.rep.DroppedCores
+		rep.Collected += s.rep.Collected
+		for local, jobs := range s.rep.FarmStats.JobsPerSlave {
+			rep.FarmStats.JobsPerSlave[c*coresPerChip+local] += jobs
+		}
+		rep.FarmStats.PollProbes += s.rep.FarmStats.PollProbes
+
+		// Sum busy time in sorted track order: map iteration order would
+		// make the float accumulation (and so MeanUtilization) vary in the
+		// last bit between identical runs.
+		tracks := make([]string, 0, len(s.rep.CoreBusySeconds))
+		for track := range s.rep.CoreBusySeconds {
+			tracks = append(tracks, track)
+		}
+		sort.Strings(tracks)
+		chipBusy := 0.0
+		for _, track := range tracks {
+			busy := s.rep.CoreBusySeconds[track]
+			rep.CoreBusySeconds[track] = busy
+			if rep.TotalSeconds > 0 {
+				rep.CoreUtilization[track] = busy / rep.TotalSeconds
+			}
+			chipBusy += busy
+		}
+		cr := ChipReport{
+			Chip:         c,
+			Master:       ms.rt.Chips[c].CoreName(0),
+			Collected:    s.rep.Collected,
+			TotalSeconds: s.rep.TotalSeconds,
+			FarmStats:    s.rep.FarmStats,
+			Wire:         s.rep.Wire,
+			ShardBytes:   ms.shardBytes[c],
+			ResultBytes:  ms.resultBytes[c],
+		}
+		if len(tracks) > 0 && rep.TotalSeconds > 0 {
+			cr.MeanUtilization = chipBusy / (float64(len(tracks)) * rep.TotalSeconds)
+		}
+		if s.rep.Metrics != nil {
+			cr.PeakMailboxDepth = s.rep.Metrics.PeakMailboxDepth
+		}
+		rep.PerChip = append(rep.PerChip, cr)
+	}
+	rep.FarmStats.MakespanSeconds = rep.TotalSeconds - rep.LoadSeconds
+	rep.Wire = ms.mergeWire()
+	rep.Metrics = ms.mergeMetrics()
+	rep.Interchip = ms.interchipReport()
+	return rep
+}
+
+// mergeWire sums the chip-local wire reports (nil when no chip used the
+// cache/batch wire model).
+func (ms *MultiSession) mergeWire() *WireReport {
+	var out *WireReport
+	for _, s := range ms.sessions {
+		w := s.rep.Wire
+		if w == nil {
+			continue
+		}
+		if out == nil {
+			out = &WireReport{CacheCapacity: w.CacheCapacity}
+		}
+		out.CacheHits += w.CacheHits
+		out.CacheMisses += w.CacheMisses
+		out.CacheEvictions += w.CacheEvictions
+		out.CacheForcedReships += w.CacheForcedReships
+		out.BaselineInputBytes += w.BaselineInputBytes
+		out.ShippedInputBytes += w.ShippedInputBytes
+		out.Batches += w.Batches
+		out.BatchedJobs += w.BatchedJobs
+		if w.MaxBatchJobs > out.MaxBatchJobs {
+			out.MaxBatchJobs = w.MaxBatchJobs
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	out.SavedInputBytes = out.BaselineInputBytes - out.ShippedInputBytes
+	if out.CacheHits+out.CacheMisses > 0 {
+		out.CacheHitRate = float64(out.CacheHits) / float64(out.CacheHits+out.CacheMisses)
+	}
+	if out.ShippedInputBytes > 0 {
+		out.InputReduction = float64(out.BaselineInputBytes) / float64(out.ShippedInputBytes)
+	}
+	if out.Batches > 0 {
+		out.MeanBatchJobs = float64(out.BatchedJobs) / float64(out.Batches)
+	}
+	return out
+}
+
+// mergeMetrics aggregates the chip-level metrics blocks: deepest
+// mailbox anywhere, job stages summed, the worst mesh link across all
+// chips (named "cN:(x,y)->(x,y)").
+func (ms *MultiSession) mergeMetrics() *MetricsReport {
+	if ms.cfg.Metrics == nil {
+		return nil
+	}
+	out := &MetricsReport{JobStages: map[string]StageAgg{}}
+	for c, s := range ms.sessions {
+		mr := s.rep.Metrics
+		if mr == nil {
+			continue
+		}
+		if mr.PeakMailboxDepth > out.PeakMailboxDepth {
+			out.PeakMailboxDepth = mr.PeakMailboxDepth
+		}
+		for stage, agg := range mr.JobStages {
+			cur := out.JobStages[stage]
+			cur.Count += agg.Count
+			cur.TotalSeconds += agg.TotalSeconds
+			if agg.MaxSeconds > cur.MaxSeconds {
+				cur.MaxSeconds = agg.MaxSeconds
+			}
+			out.JobStages[stage] = cur
+		}
+		if mr.WorstLinkBusySeconds > out.WorstLinkBusySeconds {
+			out.WorstLink = fmt.Sprintf("c%d:%s", c, mr.WorstLink)
+			out.WorstLinkBusySeconds = mr.WorstLinkBusySeconds
+			out.WorstLinkUtilization = mr.WorstLinkUtilization
+			out.LinkHeatmap = mr.LinkHeatmap
+		}
+	}
+	for stage, agg := range out.JobStages {
+		if agg.Count > 0 {
+			agg.MeanSeconds = agg.TotalSeconds / float64(agg.Count)
+		}
+		out.JobStages[stage] = agg
+	}
+	return out
+}
+
+// interchipReport distills the fabric accounting into the Report block.
+func (ms *MultiSession) interchipReport() *InterchipReport {
+	st := ms.rt.Fabric.Stats()
+	out := &InterchipReport{
+		Profile:         ms.rt.Fabric.Config().String(),
+		Transfers:       st.Transfers,
+		Bytes:           st.Bytes,
+		SendWaitSeconds: st.SendWaitSeconds,
+		PeakRootInbox:   st.PeakInboxDepth[0],
+	}
+	for c := 0; c < ms.Chips(); c++ {
+		out.ShardBytes += ms.shardBytes[c]
+		out.ResultBytes += ms.resultBytes[c]
+	}
+	if reg := ms.cfg.Metrics; reg != nil {
+		for c := 0; c < ms.Chips(); c++ {
+			out.IntraChipBytes += int64(reg.Counter("rcce.send.bytes", "chip", fmt.Sprintf("c%d", c)).Value())
+		}
+	}
+	return out
+}

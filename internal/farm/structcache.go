@@ -87,8 +87,9 @@ func (l *slaveLRU) remove(id int) bool {
 // maxRequest, the largest number of distinct structures any single
 // request will reference — a batch must fit in the cache whole, or the
 // eviction loop would evict structures of the request that just shipped
-// them. reg may be nil.
-func NewStructCache(capacity int, sizes []int, maxRequest int, reg *metrics.Registry) *StructCache {
+// them. reg may be nil. labels are optional extra key/value label pairs
+// on the cache's metric keys (per-chip scoping in multi-chip runs).
+func NewStructCache(capacity int, sizes []int, maxRequest int, reg *metrics.Registry, labels ...string) *StructCache {
 	if capacity < 2 {
 		capacity = 2
 	}
@@ -99,12 +100,12 @@ func NewStructCache(capacity int, sizes []int, maxRequest int, reg *metrics.Regi
 		capacity:       capacity,
 		sizes:          sizes,
 		slaves:         map[int]*slaveLRU{},
-		cHits:          reg.Counter("farm.cache.hits"),
-		cMisses:        reg.Counter("farm.cache.misses"),
-		cEvictions:     reg.Counter("farm.cache.evictions"),
-		cForcedReships: reg.Counter("farm.cache.forced_reships"),
-		cBytesShipped:  reg.Counter("farm.cache.bytes_shipped"),
-		cBytesSaved:    reg.Counter("farm.cache.bytes_saved"),
+		cHits:          reg.Counter("farm.cache.hits", labels...),
+		cMisses:        reg.Counter("farm.cache.misses", labels...),
+		cEvictions:     reg.Counter("farm.cache.evictions", labels...),
+		cForcedReships: reg.Counter("farm.cache.forced_reships", labels...),
+		cBytesShipped:  reg.Counter("farm.cache.bytes_shipped", labels...),
+		cBytesSaved:    reg.Counter("farm.cache.bytes_saved", labels...),
 	}
 }
 

@@ -61,6 +61,7 @@ type Mesh struct {
 
 	// Observability (nil/zero unless SetMetrics installed a registry).
 	reg       *metrics.Registry
+	labels    []string
 	linkStats map[linkKey]*linkMetrics
 	cXfers    *metrics.Counter
 	cBytes    *metrics.Counter
@@ -91,12 +92,17 @@ type linkMetrics struct {
 // instant — the chrome-trace link-utilization counter track). All
 // recording is passive: it consumes no simulated time and schedules no
 // events.
-func (m *Mesh) SetMetrics(reg *metrics.Registry) {
+//
+// labels are optional extra key/value label pairs appended to every
+// metric key (a multi-chip system scopes each mesh with "chip", "cN");
+// none keeps the classic single-chip keys bit-identical.
+func (m *Mesh) SetMetrics(reg *metrics.Registry, labels ...string) {
 	m.reg = reg
-	m.cXfers = reg.Counter("noc.transfers")
-	m.cBytes = reg.Counter("noc.transfer.bytes")
-	m.hHops = reg.Histogram("noc.transfer.hops", metrics.HopBuckets)
-	m.sActive = reg.Series("noc.links.active")
+	m.labels = append([]string(nil), labels...)
+	m.cXfers = reg.Counter("noc.transfers", labels...)
+	m.cBytes = reg.Counter("noc.transfer.bytes", labels...)
+	m.hHops = reg.Histogram("noc.transfer.hops", metrics.HopBuckets, labels...)
+	m.sActive = reg.Series("noc.links.active", labels...)
 	m.linkStats = map[linkKey]*linkMetrics{}
 	for y := 0; y < m.cfg.Height; y++ {
 		for x := 0; x < m.cfg.Width; x++ {
@@ -106,11 +112,11 @@ func (m *Mesh) SetMetrics(reg *metrics.Registry) {
 				if _, ok := m.links[k]; !ok {
 					continue
 				}
-				name := k.String()
+				ll := append(append([]string(nil), m.labels...), "link", k.String())
 				m.linkStats[k] = &linkMetrics{
-					msgs:  reg.Counter("noc.link.messages", "link", name),
-					bytes: reg.Counter("noc.link.bytes", "link", name),
-					wait:  reg.Counter("noc.link.wait_seconds", "link", name),
+					msgs:  reg.Counter("noc.link.messages", ll...),
+					bytes: reg.Counter("noc.link.bytes", ll...),
+					wait:  reg.Counter("noc.link.wait_seconds", ll...),
 				}
 			}
 		}
@@ -126,7 +132,8 @@ func (m *Mesh) PublishMetrics() {
 		return
 	}
 	for k, l := range m.links {
-		m.reg.Gauge("noc.link.busy_seconds", "link", k.String()).Set(l.BusySeconds())
+		ll := append(append([]string(nil), m.labels...), "link", k.String())
+		m.reg.Gauge("noc.link.busy_seconds", ll...).Set(l.BusySeconds())
 	}
 }
 

@@ -81,10 +81,15 @@ type Comm struct {
 // byte volumes ("rcce.core.sent_bytes{core=rckNN}" and
 // "rcce.core.recv_bytes{core=rckNN}"). Passive — no simulated time is
 // consumed. Passing nil disables recording again.
-func (c *Comm) SetMetrics(reg *metrics.Registry) {
-	c.cSendMsgs = reg.Counter("rcce.send.messages")
-	c.cSendBytes = reg.Counter("rcce.send.bytes")
-	c.hMsgBytes = reg.Histogram("rcce.message.bytes", metrics.SizeBuckets)
+//
+// labels are optional extra key/value label pairs appended to every
+// fixed metric key (a multi-chip system scopes each comm with "chip",
+// "cN"); the per-core keys are already distinct through the chip's core
+// name prefix. No labels keeps the classic keys bit-identical.
+func (c *Comm) SetMetrics(reg *metrics.Registry, labels ...string) {
+	c.cSendMsgs = reg.Counter("rcce.send.messages", labels...)
+	c.cSendBytes = reg.Counter("rcce.send.bytes", labels...)
+	c.hMsgBytes = reg.Histogram("rcce.message.bytes", metrics.SizeBuckets, labels...)
 	if reg == nil {
 		c.sentBytes, c.recvBytes = nil, nil
 		return

@@ -143,17 +143,23 @@ type Team struct {
 // that the master has not yet started collecting — as a time series
 // ("farm.master.mailbox_depth") with its peak as a gauge. Recording is
 // passive: no simulated time, no extra events. Passing nil disables it.
-func (t *Team) SetMetrics(reg *metrics.Registry) {
+//
+// labels are optional extra key/value label pairs appended to every
+// fixed metric key (a multi-chip system scopes each chip's team with
+// "chip", "cN", so sub-master mailboxes stay distinguishable); the
+// per-slave keys are already distinct through the chip's core name
+// prefix. No labels keeps the classic keys bit-identical.
+func (t *Team) SetMetrics(reg *metrics.Registry, labels ...string) {
 	t.reg = reg
-	t.hDispatchWait = reg.Histogram("farm.job.dispatch_wait_seconds", metrics.TimeBuckets)
-	t.hInputXfer = reg.Histogram("farm.job.input_xfer_seconds", metrics.TimeBuckets)
-	t.hCompute = reg.Histogram("farm.job.compute_seconds", metrics.TimeBuckets)
-	t.hResultXfer = reg.Histogram("farm.job.result_xfer_seconds", metrics.TimeBuckets)
-	t.hCollectWait = reg.Histogram("farm.job.collect_wait_seconds", metrics.TimeBuckets)
-	t.cJobsDone = reg.Counter("farm.jobs.completed")
-	t.cMasterCollect = reg.Counter("farm.master.collect_seconds")
-	t.sMailbox = reg.Series("farm.master.mailbox_depth")
-	t.gMailboxPeak = reg.Gauge("farm.master.mailbox_peak")
+	t.hDispatchWait = reg.Histogram("farm.job.dispatch_wait_seconds", metrics.TimeBuckets, labels...)
+	t.hInputXfer = reg.Histogram("farm.job.input_xfer_seconds", metrics.TimeBuckets, labels...)
+	t.hCompute = reg.Histogram("farm.job.compute_seconds", metrics.TimeBuckets, labels...)
+	t.hResultXfer = reg.Histogram("farm.job.result_xfer_seconds", metrics.TimeBuckets, labels...)
+	t.hCollectWait = reg.Histogram("farm.job.collect_wait_seconds", metrics.TimeBuckets, labels...)
+	t.cJobsDone = reg.Counter("farm.jobs.completed", labels...)
+	t.cMasterCollect = reg.Counter("farm.master.collect_seconds", labels...)
+	t.sMailbox = reg.Series("farm.master.mailbox_depth", labels...)
+	t.gMailboxPeak = reg.Gauge("farm.master.mailbox_peak", labels...)
 	if reg == nil {
 		t.slaveJobs, t.slaveCompute, t.slaveWait = nil, nil, nil
 		return

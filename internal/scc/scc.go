@@ -31,6 +31,11 @@ type Config struct {
 	MemBandwidth float64
 	// MemLatencySeconds is the fixed DRAM access latency per request.
 	MemLatencySeconds float64
+	// NamePrefix is prepended to every core name ("c1." yields
+	// "c1.rck00"), so the chips of a multi-chip system get distinct
+	// trace tracks, report keys and per-core metric labels. Empty (the
+	// default) keeps the classic single-chip names bit-identical.
+	NamePrefix string
 }
 
 // DefaultConfig returns the SCC as shipped: 6x4 tiles, 2 cores/tile,
@@ -63,9 +68,10 @@ func (c Config) MPBTotal() int { return c.NumTiles() * c.MPBBytesPerTile }
 // size for large messages).
 func (c Config) MPBPerCore() int { return c.MPBBytesPerTile / c.CoresPerTile }
 
-// CoreName returns the SCC host name of a core (rck00...rck47) without
-// needing an instantiated chip; trace tracks and farm reports key on it.
-func (c Config) CoreName(core int) string { return fmt.Sprintf("rck%02d", core) }
+// CoreName returns the SCC host name of a core (rck00...rck47, behind
+// the optional NamePrefix) without needing an instantiated chip; trace
+// tracks and farm reports key on it.
+func (c Config) CoreName(core int) string { return fmt.Sprintf("%srck%02d", c.NamePrefix, core) }
 
 // Chip is an instantiated SCC attached to a simulation engine.
 type Chip struct {

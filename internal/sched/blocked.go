@@ -54,30 +54,20 @@ func Blocked(pairs []Pair, tile int) []Pair {
 	return sorted
 }
 
-// AffinityAssign deals the tile blocks of a pair list onto `slaves`
-// queues so each block's structures ship to exactly one slave: blocks
-// are taken heaviest-first (by summed cost, or pair count when cost is
-// nil) and each goes to the least-loaded queue (classic LPT bin
-// packing; ties break on the lower queue index, so the assignment is
-// deterministic). Within a queue, blocks land in assignment
-// (heaviest-first) order and pairs keep their within-block order. With fewer blocks
-// than slaves the surplus queues stay empty — affinity trades tail
-// balance for wire traffic, which is the right trade in the
-// master-bound polling regime the cache targets. tile < 2 treats the
-// whole list as one block.
-func AffinityAssign(pairs []Pair, slaves, tile int, cost func(Pair) float64) [][]Pair {
-	if slaves < 1 {
-		return nil
-	}
-	queues := make([][]Pair, slaves)
-	if len(pairs) == 0 {
-		return queues
-	}
+// gatherBlocks groups a pair list into its tile blocks, in
+// first-appearance order of the Blocked permutation; pairs keep their
+// within-block order. tile < 2 degenerates to one block per pair in
+// input order — the finest dealing granularity, used both as the
+// explicit fine-grained mode and as the fallback when a tile is larger
+// than the grid region a shard would get.
+func gatherBlocks(pairs []Pair, tile int) [][]Pair {
 	if tile < 2 {
-		queues[0] = append([]Pair(nil), pairs...)
-		return queues
+		blocks := make([][]Pair, len(pairs))
+		for i, p := range pairs {
+			blocks[i] = []Pair{p}
+		}
+		return blocks
 	}
-	// Gather blocks in first-appearance order of a Blocked permutation.
 	ordered := Blocked(pairs, tile)
 	var blocks [][]Pair
 	blockAt := map[blockKey]int{}
@@ -91,6 +81,11 @@ func AffinityAssign(pairs []Pair, slaves, tile int, cost func(Pair) float64) [][
 		}
 		blocks[b] = append(blocks[b], p)
 	}
+	return blocks
+}
+
+// blockWeights sums each block's cost (pair count when cost is nil).
+func blockWeights(blocks [][]Pair, cost func(Pair) float64) []float64 {
 	weights := make([]float64, len(blocks))
 	for b, ps := range blocks {
 		for _, p := range ps {
@@ -101,15 +96,25 @@ func AffinityAssign(pairs []Pair, slaves, tile int, cost func(Pair) float64) [][
 			}
 		}
 	}
+	return weights
+}
+
+// dealLPT deals blocks heaviest-first onto the least-loaded of n queues
+// (classic LPT bin packing). Equal weights keep first-appearance order
+// and load ties break on the lower queue index, so the assignment is
+// deterministic. Within a queue, blocks land in assignment
+// (heaviest-first) order and pairs keep their within-block order.
+func dealLPT(blocks [][]Pair, weights []float64, n int) [][]Pair {
+	queues := make([][]Pair, n)
 	order := make([]int, len(blocks))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
-	load := make([]float64, slaves)
+	load := make([]float64, n)
 	for _, b := range order {
 		best := 0
-		for q := 1; q < slaves; q++ {
+		for q := 1; q < n; q++ {
 			if load[q] < load[best] {
 				best = q
 			}
@@ -118,4 +123,24 @@ func AffinityAssign(pairs []Pair, slaves, tile int, cost func(Pair) float64) [][
 		load[best] += weights[b]
 	}
 	return queues
+}
+
+// AffinityAssign deals the tile blocks of a pair list onto `slaves`
+// queues so each block's structures ship to exactly one slave: blocks
+// are taken heaviest-first (by summed cost, or pair count when cost is
+// nil) and each goes to the least-loaded queue (see dealLPT). With
+// fewer blocks than slaves the surplus queues stay empty — affinity
+// trades tail balance for wire traffic, which is the right trade in
+// the master-bound polling regime the cache targets. tile < 2 deals
+// individual pairs instead of blocks (no cache affinity, but the load
+// still spreads; it used to pile every job onto queue 0).
+func AffinityAssign(pairs []Pair, slaves, tile int, cost func(Pair) float64) [][]Pair {
+	if slaves < 1 {
+		return nil
+	}
+	if len(pairs) == 0 {
+		return make([][]Pair, slaves)
+	}
+	blocks := gatherBlocks(pairs, tile)
+	return dealLPT(blocks, blockWeights(blocks, cost), slaves)
 }

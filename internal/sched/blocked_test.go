@@ -160,9 +160,17 @@ func TestAffinityAssignDegenerate(t *testing.T) {
 	if len(q) != 3 || len(q[0])+len(q[1])+len(q[2]) != 0 {
 		t.Errorf("empty pairs: got %v", q)
 	}
-	// tile < 2: everything lands on one queue.
+	// tile < 2 deals individual pairs: the load spreads instead of
+	// piling onto queue 0 (the old silent-truncation behaviour).
 	q = AffinityAssign(AllVsAll(6), 3, 1, nil)
-	if len(q[0]) != 15 || len(q[1]) != 0 {
-		t.Errorf("tile<2: got lens %d,%d,%d", len(q[0]), len(q[1]), len(q[2]))
+	if len(q[0]) != 5 || len(q[1]) != 5 || len(q[2]) != 5 {
+		t.Errorf("tile<2: got lens %d,%d,%d, want an even 5,5,5 deal", len(q[0]), len(q[1]), len(q[2]))
+	}
+	total := 0
+	for _, ps := range q {
+		total += len(ps)
+	}
+	if total != 15 {
+		t.Errorf("tile<2: %d pairs dealt, want all 15", total)
 	}
 }

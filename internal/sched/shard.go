@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShardCount reports a non-positive shard (chip) count.
+var ErrShardCount = errors.New("sched: shard count must be >= 1")
+
+// ShardPairs cuts an ordered pair list into `shards` chip-level shards
+// along the 2D tile blocks of the pair grid (the PASTIS-style sharding
+// of the all-vs-all matrix): blocks of tile x tile pairs are dealt
+// heaviest-first onto the least-loaded shard, so each block's
+// structures cross the inter-chip fabric exactly once and the per-chip
+// work is balanced. Within a shard, blocks keep assignment order and
+// pairs keep their within-block order, so a shard is itself a valid
+// blocked ordering for the on-chip cache model.
+//
+// Edge cases are explicit rather than silently truncating:
+//   - shards < 1 is an error (ErrShardCount).
+//   - shards == 1 returns the input order exactly unchanged — the
+//     single-chip bit-identity guarantee multi-chip runs rely on.
+//   - A tile so large that fewer blocks than shards exist (tile wider
+//     than a shard's slice of the grid) falls back to dealing
+//     individual pairs, so no chip idles just because the tile was
+//     coarse. tile < 2 deals individual pairs directly.
+//   - Block counts not divisible by shards simply balance by weight;
+//     with fewer pairs than shards the surplus shards come back empty
+//     (callers decide whether an empty shard is acceptable).
+//
+// cost estimates one pair's duration (nil = count pairs). The result
+// always has exactly `shards` entries and is a partition of the input:
+// every pair appears in exactly one shard.
+func ShardPairs(pairs []Pair, shards, tile int, cost func(Pair) float64) ([][]Pair, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrShardCount, shards)
+	}
+	if shards == 1 {
+		return [][]Pair{append([]Pair(nil), pairs...)}, nil
+	}
+	if len(pairs) == 0 {
+		return make([][]Pair, shards), nil
+	}
+	blocks := gatherBlocks(pairs, tile)
+	if len(blocks) < shards && tile >= 2 {
+		blocks = gatherBlocks(pairs, 1)
+	}
+	return dealLPT(blocks, blockWeights(blocks, cost), shards), nil
+}

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// shardMultiset collects a shard list back into a multiset keyed by pair.
+func shardMultiset(shards [][]Pair) map[Pair]int {
+	out := map[Pair]int{}
+	for _, shard := range shards {
+		for _, p := range shard {
+			out[p]++
+		}
+	}
+	return out
+}
+
+// TestShardPairsTable drives the chip-dimension edge cases the multi-chip
+// scheduler exposed: block counts not divisible by the shard count, a
+// tile larger than a shard's slice of the grid, degenerate tiles, and
+// fewer pairs than shards.
+func TestShardPairsTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int // AllVsAll(n)
+		shards    int
+		tile      int
+		wantEmpty int // shards allowed to stay empty
+	}{
+		{name: "blocks-divide-evenly", n: 24, shards: 4, tile: 6},
+		{name: "blocks-not-divisible", n: 34, shards: 3, tile: 6},
+		{name: "more-shards-than-blocks", n: 8, shards: 5, tile: 6},
+		{name: "tile-larger-than-grid", n: 10, shards: 4, tile: 64},
+		{name: "tile-one-fine-grained", n: 12, shards: 4, tile: 1},
+		{name: "tile-zero", n: 12, shards: 3, tile: 0},
+		{name: "two-shards-odd-blocks", n: 13, shards: 2, tile: 4},
+		{name: "fewer-pairs-than-shards", n: 2, shards: 8, tile: 6, wantEmpty: 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := AllVsAll(tc.n)
+			shards, err := ShardPairs(in, tc.shards, tc.tile, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shards) != tc.shards {
+				t.Fatalf("got %d shards, want %d", len(shards), tc.shards)
+			}
+			// Partition: every pair exactly once.
+			got := shardMultiset(shards)
+			if len(got) != len(in) {
+				t.Fatalf("shards cover %d distinct pairs, want %d", len(got), len(in))
+			}
+			for _, p := range in {
+				if got[p] != 1 {
+					t.Fatalf("pair %v appears %d times, want exactly once", p, got[p])
+				}
+			}
+			// No silent truncation: every shard gets work unless there are
+			// genuinely fewer pairs than shards.
+			empty := 0
+			for _, s := range shards {
+				if len(s) == 0 {
+					empty++
+				}
+			}
+			if empty != tc.wantEmpty {
+				t.Fatalf("%d empty shards, want %d (lens: %v)", empty, tc.wantEmpty, shardLens(shards))
+			}
+		})
+	}
+}
+
+func shardLens(shards [][]Pair) []int {
+	out := make([]int, len(shards))
+	for i, s := range shards {
+		out[i] = len(s)
+	}
+	return out
+}
+
+// TestShardPairsSingleShardIsIdentity pins the bit-identity contract:
+// one shard returns the input order exactly unchanged, for any tile —
+// an LPT re-deal here would silently reorder a 1-chip run away from the
+// flat goldens.
+func TestShardPairsSingleShardIsIdentity(t *testing.T) {
+	in, err := Apply(AllVsAll(13), LPT, func(p Pair) float64 { return float64(p.I*31 + p.J) }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range []int{0, 1, 4, 6, 100} {
+		out, err := ShardPairs(in, 1, tile, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 || !reflect.DeepEqual(out[0], in) {
+			t.Fatalf("tile=%d: single shard must be the identity permutation", tile)
+		}
+	}
+}
+
+// TestShardPairsKeepsBlocksWhole checks the affinity property that makes
+// sharding wire-efficient: with a workable tile, all pairs of one tile
+// block land on the same shard.
+func TestShardPairsKeepsBlocksWhole(t *testing.T) {
+	const tile = 6
+	shards, err := ShardPairs(AllVsAll(34), 4, tile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[blockKey]int{}
+	for s, ps := range shards {
+		for _, p := range ps {
+			k := blockOf(p, tile)
+			if prev, ok := owner[k]; ok && prev != s {
+				t.Fatalf("block %v split across shards %d and %d", k, prev, s)
+			}
+			owner[k] = s
+		}
+	}
+}
+
+// TestShardPairsBalances checks the LPT deal levels cost, not count.
+func TestShardPairsBalances(t *testing.T) {
+	lengths := make([]int, 30)
+	for i := range lengths {
+		lengths[i] = 50 + 17*i
+	}
+	cost := LengthProductCost(lengths)
+	shards, err := ShardPairs(AllVsAll(30), 3, 6, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, len(shards))
+	total := 0.0
+	for s, ps := range shards {
+		for _, p := range ps {
+			loads[s] += cost(p)
+			total += cost(p)
+		}
+	}
+	mean := total / float64(len(shards))
+	for s, l := range loads {
+		if l < 0.7*mean || l > 1.3*mean {
+			t.Fatalf("shard %d load %.0f more than 30%% off mean %.0f (loads %v)", s, l, mean, loads)
+		}
+	}
+}
+
+func TestShardPairsDeterministic(t *testing.T) {
+	in := AllVsAll(21)
+	a, err := ShardPairs(in, 5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShardPairs(in, 5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ShardPairs is not deterministic")
+	}
+}
+
+func TestShardPairsErrors(t *testing.T) {
+	for _, shards := range []int{0, -1} {
+		if _, err := ShardPairs(AllVsAll(5), shards, 6, nil); !errors.Is(err, ErrShardCount) {
+			t.Errorf("shards=%d: got %v, want ErrShardCount", shards, err)
+		}
+	}
+	out, err := ShardPairs(nil, 3, 6, nil)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("empty input: got %v, %v", out, err)
+	}
+}
