@@ -359,6 +359,12 @@ func main() {
 			}
 		}
 	}
+	// Host-side pair-store effectiveness: across a sweep every run after
+	// the first replays memoized results, so hits/misses show how much
+	// native TM-align work the store saved this invocation.
+	ps := store.StatsSnapshot()
+	fmt.Fprintf(os.Stderr, "pairstore: %d hits / %d misses (%.1f%% hit rate), %d entries resident\n",
+		ps.Hits, ps.Misses, 100*ps.HitRate, ps.Entries)
 	if *csv {
 		fmt.Print(tb.CSV())
 	} else {

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// valid returns a flag set that passes validation; tests mutate one
+// field at a time.
+func valid() cliFlags {
+	return cliFlags{Addr: "127.0.0.1:8344"}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*cliFlags)
+		wantErr string // substring of the one-line diagnostic; "" = valid
+	}{
+		{"defaults", func(f *cliFlags) {}, ""},
+		{"empty addr", func(f *cliFlags) { f.Addr = "" }, "-addr"},
+		{"dataset CK34", func(f *cliFlags) { f.Dataset = "CK34" }, ""},
+		{"dataset RS119", func(f *cliFlags) { f.Dataset = "RS119" }, ""},
+		{"dataset unknown", func(f *cliFlags) { f.Dataset = "PDB70" }, "PDB70"},
+		{"batch default sentinel", func(f *cliFlags) { f.Batch = 0 }, ""},
+		{"batch one disables coalescing", func(f *cliFlags) { f.Batch = 1 }, ""},
+		{"batch negative", func(f *cliFlags) { f.Batch = -1 }, "-batch"},
+		{"maxwait default sentinel", func(f *cliFlags) { f.MaxWait = 0 }, ""},
+		{"maxwait negative", func(f *cliFlags) { f.MaxWait = -time.Millisecond }, "-maxwait"},
+		{"workers negative", func(f *cliFlags) { f.Workers = -2 }, "-workers"},
+		{"queuecap negative", func(f *cliFlags) { f.QueueCap = -1 }, "-queuecap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := valid()
+			tc.mut(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("no error, want one mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -278,6 +278,46 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation inside the bucket that holds the
+// target rank, clamped to the exact observed min/max. The estimate's
+// resolution is the bucket width — good enough for the p50/p95/p99
+// figures a /statsz endpoint reports. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		// Bucket i spans (bounds[i-1], bounds[i]]; clamp to the observed
+		// extremes so sparse histograms do not extrapolate past real data.
+		lo, hi := h.min, h.max
+		if i > 0 && h.bounds[i-1] > lo {
+			lo = h.bounds[i-1]
+		}
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo + (rank-prev)/float64(c)*(hi-lo)
+	}
+	return h.max
+}
+
 // Point is one time-series sample at simulated time T.
 type Point struct {
 	T float64 `json:"t"`

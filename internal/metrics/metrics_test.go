@@ -149,3 +149,66 @@ func TestSnapshotDeterminism(t *testing.T) {
 		t.Error("counters not sorted by key")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	h := newHistogram([]float64{1, 10, 100})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations spread uniformly over (1, 10].
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + 9*float64(i)/100)
+	}
+	if got := h.Quantile(0); got != h.min {
+		t.Errorf("q=0 -> %v, want min %v", got, h.min)
+	}
+	if got := h.Quantile(1); got != h.max {
+		t.Errorf("q=1 -> %v, want max %v", got, h.max)
+	}
+	// All mass is in the (1, 10] bucket: the median interpolates to its
+	// middle, and estimates are bounded by the observed extremes.
+	if got := h.Quantile(0.5); got < 4 || got > 7 {
+		t.Errorf("median = %v, want ~5.5 (mid-bucket interpolation)", got)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		got := h.Quantile(q)
+		if got < h.min || got > h.max {
+			t.Errorf("q=%v -> %v outside observed [%v, %v]", q, got, h.min, h.max)
+		}
+	}
+	// Quantiles are monotone in q.
+	prev := h.Quantile(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("quantile not monotone: q=%v -> %v below %v", q, got, prev)
+		}
+		prev = got
+	}
+
+	// A single observation: every quantile is that value.
+	h1 := newHistogram(TimeBuckets)
+	h1.Observe(0.042)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h1.Quantile(q); got != 0.042 {
+			t.Errorf("single-observation q=%v -> %v, want 0.042", q, got)
+		}
+	}
+
+	// Two distinct buckets: p99 lands in the upper one.
+	h2 := newHistogram([]float64{1, 10})
+	for i := 0; i < 99; i++ {
+		h2.Observe(0.5)
+	}
+	h2.Observe(5)
+	if got := h2.Quantile(0.995); got <= 1 {
+		t.Errorf("p99.5 = %v, want in the upper bucket (> 1)", got)
+	}
+	if got := h2.Quantile(0.5); got < 0.5 || got > 1 {
+		t.Errorf("median = %v, want inside the lower bucket [0.5, 1]", got)
+	}
+}

@@ -97,6 +97,40 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
+// StatsSnapshot is a self-describing view of the store's effectiveness:
+// the raw hit/miss counts plus the derived hit rate and the number of
+// resident entries, captured atomically.
+type StatsSnapshot struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HitRate is Hits / (Hits + Misses); 0 when the store is unused.
+	HitRate float64 `json:"hit_rate"`
+	// Entries is the number of memoized entries, including in-flight
+	// computations.
+	Entries int `json:"entries"`
+}
+
+// StatsSnapshot captures the hit/miss counters, the derived hit rate
+// and the entry count under one lock acquisition, so concurrent readers
+// (a server's /statsz handler) see a consistent view. A nil store
+// snapshots as zero.
+func (s *Store) StatsSnapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatsSnapshot{
+		Hits:    s.stats.Hits,
+		Misses:  s.stats.Misses,
+		Entries: len(s.entries),
+	}
+	if total := snap.Hits + snap.Misses; total > 0 {
+		snap.HitRate = float64(snap.Hits) / float64(total)
+	}
+	return snap
+}
+
 // Get returns the memoized value for k, computing it with compute on
 // the calling goroutine if no other caller has. Concurrent Gets of the
 // same key block until the first computation finishes and then share

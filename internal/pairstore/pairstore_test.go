@@ -141,3 +141,47 @@ func TestNilStore(t *testing.T) {
 		t.Error("nil store accessors not zero")
 	}
 }
+
+func TestStatsSnapshot(t *testing.T) {
+	var nilStore *Store
+	if snap := nilStore.StatsSnapshot(); snap != (StatsSnapshot{}) {
+		t.Errorf("nil store snapshot = %+v, want zero", snap)
+	}
+	s := New(2)
+	if snap := s.StatsSnapshot(); snap.HitRate != 0 {
+		t.Errorf("unused store hit rate = %v, want 0", snap.HitRate)
+	}
+	s.Get(key(1), func() any { return 1 })
+	s.Get(key(1), func() any { return 1 })
+	s.Get(key(1), func() any { return 1 })
+	s.Get(key(2), func() any { return 2 })
+	snap := s.StatsSnapshot()
+	if snap.Hits != 2 || snap.Misses != 2 || snap.Entries != 2 {
+		t.Errorf("snapshot = %+v, want 2 hits / 2 misses / 2 entries", snap)
+	}
+	if snap.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", snap.HitRate)
+	}
+}
+
+// TestStatsSnapshotConcurrent reads snapshots while Gets are in flight;
+// the race detector asserts the locking.
+func TestStatsSnapshotConcurrent(t *testing.T) {
+	s := New(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Get(key(i%10), func() any { return i })
+				_ = s.StatsSnapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.StatsSnapshot()
+	if snap.Entries != 10 || snap.Hits+snap.Misses != 400 {
+		t.Errorf("snapshot = %+v, want 10 entries and 400 gets", snap)
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"rckalign/internal/batcher"
+	"rckalign/internal/synth"
+	"rckalign/internal/tmalign"
+)
+
+// BenchmarkServeCoalesce measures what coalescing buys the service: a
+// burst of concurrent one-vs-all requests against the same target,
+// served coalesced (default batching + memoized pair store: each pair
+// computed exactly once per server lifetime) versus uncoalesced
+// (batch size 1, memoization off: every request recomputes every
+// pair). Each iteration uses a fresh server so the coalesced side
+// cannot amortize across iterations; speedup_x reports the per-
+// iteration ratio.
+func BenchmarkServeCoalesce(b *testing.B) {
+	const n, burst = 10, 8
+	ds := synth.Small(n, 1)
+	opt := tmalign.FastOptions()
+
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New(cfg)
+			if err := s.Preload(ds.Structures); err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for r := 0; r < burst; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					req := httptest.NewRequest("POST", "/onevsall?target="+ds.Structures[0].ID, nil)
+					w := httptest.NewRecorder()
+					s.Handler().ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Errorf("onevsall = %d: %s", w.Code, w.Body.String())
+					}
+				}()
+			}
+			wg.Wait()
+			s.Close()
+		}
+	}
+
+	b.Run("coalesced", func(b *testing.B) {
+		run(b, Config{Dataset: "bench", Options: opt})
+	})
+	b.Run("uncoalesced", func(b *testing.B) {
+		run(b, Config{
+			Dataset:     "bench",
+			Options:     opt,
+			DisableMemo: true,
+			Batch:       batcher.Config{BatchSize: 1, Workers: 4},
+		})
+	})
+}

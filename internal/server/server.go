@@ -1,0 +1,631 @@
+// Package server turns the batch all-to-all comparison engine into a
+// long-lived protein-structure-comparison service (PSC-as-a-service,
+// after the Protein Models Comparator): an HTTP/JSON API over a growing
+// structure database, serving pairwise scores, one-vs-all sweeps and
+// top-K neighbor queries to many concurrent clients.
+//
+// Request coalescing: every query expands into per-pair work items that
+// flow through one internal/batcher instance (bounded queue, batch-size
+// and max-wait flush triggers), and every pair evaluation runs through
+// the single-flight memoized internal/pairstore keyed by
+// (dataset, kernel, pair). Concurrent bursts of one-vs-all queries
+// against the same target therefore compute each pair exactly once,
+// and — because pairs are always compared in canonical index order
+// (lower index first) — every served score is bit-identical to what
+// the batch CLI (cmd/rckalign -scores-out) produces for the same
+// structures in the same order under the same kernel options. See
+// DESIGN.md §14.
+//
+// Endpoints:
+//
+//	POST /structures?id=NAME   upload one PDB file (body), parse CA trace
+//	GET  /structures           list stored structures
+//	GET  /score?a=ID&b=ID      one pairwise TM-align comparison
+//	POST /onevsall?target=ID   target against every stored structure
+//	GET  /topk?target=ID&k=N   the N nearest neighbors by TM-score
+//	GET  /healthz              liveness
+//	GET  /statsz               pairstore hit rate, batch-size histogram,
+//	                           queue depth, per-endpoint p50/p95/p99
+//
+// /score and /onevsall accept format=text to emit the exact
+// "-scores-out" line format (full float64 precision) for byte-for-byte
+// comparison against batch dumps.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rckalign/internal/batcher"
+	"rckalign/internal/metrics"
+	"rckalign/internal/pairstore"
+	"rckalign/internal/pdb"
+	"rckalign/internal/tmalign"
+)
+
+// maxUploadBytes bounds a structure upload body (a CA-only PDB chain is
+// well under 100 KB; 16 MB admits full multi-model files).
+const maxUploadBytes = 16 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Dataset names the pairstore key namespace (default "serve"). Use
+	// the batch dataset's name when preloading it so a shared store's
+	// entries line up.
+	Dataset string
+	// Options is the TM-align kernel configuration; its Key() is the
+	// kernel component of every pairstore key.
+	Options tmalign.Options
+	// Batch tunes the request coalescer (see batcher.Config defaults).
+	// Config.Batch.OnFlush is reserved for the server's own batch-size
+	// histogram and must be nil.
+	Batch batcher.Config
+	// Store memoizes pair results; nil creates a private store sized to
+	// GOMAXPROCS. Every evaluation flows through it, which is what makes
+	// concurrent duplicate queries compute each pair exactly once.
+	Store *pairstore.Store
+	// DisableMemo bypasses the pair store entirely, recomputing every
+	// evaluation inline. It forfeits the exactly-once guarantee and
+	// exists only as the uncoalesced baseline for benchmarks.
+	DisableMemo bool
+}
+
+// pairJob is one canonical pair evaluation: a is the structure with the
+// lower database index, so Compare's argument order — and therefore the
+// exact result bits — match a batch run over the same structures.
+type pairJob struct {
+	i, j int
+	a, b *pdb.Structure
+}
+
+// Server is the comparison service. Create with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	dataset string
+	opt     tmalign.Options
+	kernel  string
+	db      *DB
+	store   *pairstore.Store
+	bat     *batcher.Batcher[pairJob, *tmalign.Result]
+	mux     *http.ServeMux
+	start   time.Time
+
+	// The metrics registry is not internally synchronized (it was built
+	// for the single-goroutine simulator), so every access goes through
+	// metricsMu.
+	metricsMu sync.Mutex
+	reg       *metrics.Registry
+}
+
+// endpoints instrumented with latency histograms, in /statsz order.
+var observedEndpoints = []string{"onevsall", "score", "structures", "topk"}
+
+// New builds and starts a server (its batcher goroutines run until
+// Close).
+func New(cfg Config) *Server {
+	if cfg.Dataset == "" {
+		cfg.Dataset = "serve"
+	}
+	s := &Server{
+		dataset: cfg.Dataset,
+		opt:     cfg.Options,
+		kernel:  cfg.Options.Key(),
+		db:      NewDB(),
+		store:   cfg.Store,
+		reg:     metrics.New(),
+		start:   time.Now(),
+	}
+	if s.store == nil && !cfg.DisableMemo {
+		s.store = pairstore.New(0)
+	}
+	bcfg := cfg.Batch
+	bcfg.OnFlush = func(size int, trigger batcher.Trigger) {
+		s.metricsMu.Lock()
+		s.reg.Histogram("server.batch.size", metrics.CountBuckets).Observe(float64(size))
+		s.reg.Counter("server.batch.flushes", "trigger", trigger.String()).Inc()
+		s.metricsMu.Unlock()
+	}
+	// The run function is infallible: per-pair panics would mean a bug in
+	// the kernel, and errors surface per item via batcher.Result.Err.
+	bat, err := batcher.New(bcfg, s.runBatch)
+	if err != nil {
+		panic(err) // unreachable: runBatch is non-nil
+	}
+	s.bat = bat
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /structures", s.observe("structures", s.handleUpload))
+	mux.HandleFunc("GET /structures", s.handleList)
+	mux.HandleFunc("GET /score", s.observe("score", s.handleScore))
+	mux.HandleFunc("POST /onevsall", s.observe("onevsall", s.handleOneVsAll))
+	mux.HandleFunc("GET /topk", s.observe("topk", s.handleTopK))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// DB exposes the structure database (tests and preloading).
+func (s *Server) DB() *DB { return s.db }
+
+// Store exposes the pair store (nil when memoization is disabled).
+func (s *Server) Store() *pairstore.Store { return s.store }
+
+// Batcher exposes the request coalescer's statistics.
+func (s *Server) BatcherStats() batcher.Stats { return s.bat.Stats() }
+
+// Close drains the coalescer: queued and assembling batches execute,
+// their responses are delivered, then Close returns. In-flight HTTP
+// handlers should be drained first (http.Server.Shutdown), and new
+// queries after Close receive 503.
+func (s *Server) Close() { s.bat.Close() }
+
+// Preload parses nothing — it adds already-parsed structures in order,
+// for wiring a built-in dataset at startup.
+func (s *Server) Preload(structs []*pdb.Structure) error {
+	for _, st := range structs {
+		if _, err := s.db.Add(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatch evaluates one flushed batch. Each pair goes through the
+// memoized store (single-flight, exactly-once); with memoization
+// disabled it computes inline — a nil *pairstore.Store degrades to
+// exactly that.
+func (s *Server) runBatch(jobs []pairJob) ([]*tmalign.Result, error) {
+	out := make([]*tmalign.Result, len(jobs))
+	for k, j := range jobs {
+		out[k] = s.store.Get(s.keyFor(j), func() any {
+			return tmalign.Compare(j.a, j.b, s.opt)
+		}).(*tmalign.Result)
+	}
+	return out, nil
+}
+
+func (s *Server) keyFor(j pairJob) pairstore.Key {
+	return pairstore.Key{Dataset: s.dataset, Kernel: s.kernel, A: j.a.ID, B: j.b.ID}
+}
+
+// canonicalJob orients a pair by database index: lower index first.
+func canonicalJob(i int, a *pdb.Structure, j int, b *pdb.Structure) pairJob {
+	if i < j {
+		return pairJob{i: i, j: j, a: a, b: b}
+	}
+	return pairJob{i: j, j: i, a: b, b: a}
+}
+
+// ScoreLine formats one pair result exactly as cmd/rckalign -scores-out
+// does: indices then TM1 TM2 RMSD AlignedLen SeqID at full float64
+// round-trip precision, newline-terminated.
+func ScoreLine(i, j int, r *tmalign.Result) string {
+	return fmt.Sprintf("%d %d %.17g %.17g %.17g %d %.17g\n",
+		i, j, r.TM1, r.TM2, r.RMSD, r.AlignedLen, r.SeqID)
+}
+
+// observe wraps a handler with a per-endpoint latency histogram and
+// request counter.
+func (s *Server) observe(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		fn(w, r)
+		sec := time.Since(t0).Seconds()
+		s.metricsMu.Lock()
+		s.reg.Histogram("server.latency_seconds", metrics.TimeBuckets, "endpoint", endpoint).Observe(sec)
+		s.reg.Counter("server.requests", "endpoint", endpoint).Inc()
+		s.metricsMu.Unlock()
+	}
+}
+
+// fail writes a one-line error and counts it. Error taxonomy: typed
+// lookup errors map to 404/409, batcher shutdown to 503, everything
+// explicitly passed stays at the given code.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.metricsMu.Lock()
+	s.reg.Counter("server.errors", "code", strconv.Itoa(code)).Inc()
+	s.metricsMu.Unlock()
+	http.Error(w, err.Error(), code)
+}
+
+// failErr maps an error to its HTTP status by type.
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownStructure):
+		s.fail(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrDuplicateStructure):
+		s.fail(w, http.StatusConflict, err)
+	case errors.Is(err, batcher.ErrClosed):
+		s.fail(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// UploadResponse acknowledges a stored structure.
+type UploadResponse struct {
+	ID       string `json:"id"`
+	Index    int    `json:"index"`
+	Residues int    `json:"residues"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > maxUploadBytes {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("upload exceeds %d bytes", maxUploadBytes))
+		return
+	}
+	st, err := pdb.Parse(bytes.NewReader(body), id)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	idx, err := s.db.Add(st)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, UploadResponse{ID: st.ID, Index: idx, Residues: st.Len()})
+}
+
+// StructureInfo describes one stored structure in listings.
+type StructureInfo struct {
+	ID       string `json:"id"`
+	Index    int    `json:"index"`
+	Residues int    `json:"residues"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	structs := s.db.Snapshot()
+	infos := make([]StructureInfo, len(structs))
+	for i, st := range structs {
+		infos[i] = StructureInfo{ID: st.ID, Index: i, Residues: st.Len()}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count      int             `json:"count"`
+		Structures []StructureInfo `json:"structures"`
+	}{len(infos), infos})
+}
+
+// ScoreRow is one pair's scores in canonical orientation: I < J are
+// database indices, TM1 is normalised by structure I's length, TM2 by
+// J's.
+type ScoreRow struct {
+	I          int     `json:"i"`
+	J          int     `json:"j"`
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	TM1        float64 `json:"tm1"`
+	TM2        float64 `json:"tm2"`
+	RMSD       float64 `json:"rmsd"`
+	AlignedLen int     `json:"aligned_len"`
+	SeqID      float64 `json:"seq_id"`
+}
+
+func rowOf(j pairJob, r *tmalign.Result) ScoreRow {
+	return ScoreRow{
+		I: j.i, J: j.j, A: j.a.ID, B: j.b.ID,
+		TM1: r.TM1, TM2: r.TM2, RMSD: r.RMSD,
+		AlignedLen: r.AlignedLen, SeqID: r.SeqID,
+	}
+}
+
+// TimingBreakdown is a batcher timing in seconds, as served to clients.
+type TimingBreakdown struct {
+	QueueWaitS float64 `json:"queue_wait_s"`
+	AssemblyS  float64 `json:"assembly_s"`
+	ComputeS   float64 `json:"compute_s"`
+	TotalS     float64 `json:"total_s"`
+}
+
+func timingOf(t batcher.Timing) TimingBreakdown {
+	return TimingBreakdown{
+		QueueWaitS: t.QueueWait.Seconds(),
+		AssemblyS:  t.Assembly.Seconds(),
+		ComputeS:   t.Compute.Seconds(),
+		TotalS:     t.Total.Seconds(),
+	}
+}
+
+// ScoreResponse is the /score reply.
+type ScoreResponse struct {
+	ScoreRow
+	BatchSize int             `json:"batch_size"`
+	Trigger   string          `json:"trigger"`
+	Timing    TimingBreakdown `json:"timing"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	aID, bID := q.Get("a"), q.Get("b")
+	if aID == "" || bID == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("need a= and b= structure ids"))
+		return
+	}
+	ai, a, err := s.db.Lookup(aID)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	bi, b, err := s.db.Lookup(bID)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	if ai == bi {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("a and b are both structure %q", aID))
+		return
+	}
+	job := canonicalJob(ai, a, bi, b)
+	res, err := s.bat.Submit(job)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	if res.Err != nil {
+		s.failErr(w, res.Err)
+		return
+	}
+	if q.Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, ScoreLine(job.i, job.j, res.Value))
+		return
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{
+		ScoreRow:  rowOf(job, res.Value),
+		BatchSize: res.BatchSize,
+		Trigger:   res.Trigger.String(),
+		Timing:    timingOf(res.Timing),
+	})
+}
+
+// oneVsAll resolves the target, expands it against every other stored
+// structure (snapshot at request time), and runs the pairs through the
+// coalescer. Rows come back sorted by canonical pair.
+func (s *Server) oneVsAll(targetID string) (int, []pairJob, []batcher.Result[*tmalign.Result], error) {
+	ti, _, err := s.db.Lookup(targetID)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	structs := s.db.Snapshot()
+	jobs := make([]pairJob, 0, len(structs)-1)
+	for o, st := range structs {
+		if o == ti {
+			continue
+		}
+		jobs = append(jobs, canonicalJob(ti, structs[ti], o, st))
+	}
+	results, err := s.bat.SubmitAll(jobs)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return 0, nil, nil, r.Err
+		}
+	}
+	return ti, jobs, results, nil
+}
+
+// OneVsAllResponse is the /onevsall reply.
+type OneVsAllResponse struct {
+	Target string     `json:"target"`
+	Index  int        `json:"index"`
+	Count  int        `json:"count"`
+	Rows   []ScoreRow `json:"rows"`
+	// MaxTiming is the slowest item's breakdown — the request's critical
+	// path through the coalescer.
+	MaxTiming TimingBreakdown `json:"max_timing"`
+}
+
+func (s *Server) handleOneVsAll(w http.ResponseWriter, r *http.Request) {
+	targetID := r.URL.Query().Get("target")
+	if targetID == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("need target= structure id"))
+		return
+	}
+	ti, jobs, results, err := s.oneVsAll(targetID)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for k, job := range jobs {
+			io.WriteString(w, ScoreLine(job.i, job.j, results[k].Value))
+		}
+		return
+	}
+	resp := OneVsAllResponse{Target: targetID, Index: ti, Count: len(jobs), Rows: make([]ScoreRow, len(jobs))}
+	var maxT batcher.Timing
+	for k, job := range jobs {
+		resp.Rows[k] = rowOf(job, results[k].Value)
+		if results[k].Timing.Total > maxT.Total {
+			maxT = results[k].Timing
+		}
+	}
+	resp.MaxTiming = timingOf(maxT)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Neighbor is one /topk hit: TM is the score normalised by the target
+// chain's length (the retrieval convention).
+type Neighbor struct {
+	ID         string  `json:"id"`
+	Index      int     `json:"index"`
+	TM         float64 `json:"tm"`
+	TM1        float64 `json:"tm1"`
+	TM2        float64 `json:"tm2"`
+	RMSD       float64 `json:"rmsd"`
+	AlignedLen int     `json:"aligned_len"`
+	SeqID      float64 `json:"seq_id"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	targetID := q.Get("target")
+	if targetID == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("need target= structure id"))
+		return
+	}
+	k := 5
+	if ks := q.Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("k=%q is not a positive integer", ks))
+			return
+		}
+	}
+	ti, jobs, results, err := s.oneVsAll(targetID)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	neighbors := make([]Neighbor, len(jobs))
+	for i, job := range jobs {
+		res := results[i].Value
+		// TM1 is normalised by the canonical-first chain's length. Report
+		// the score normalised by the *target* length (the retrieval
+		// convention), so pick TM1 when the target is canonical-first.
+		tm, other, otherIdx := res.TM2, job.a, job.i
+		if job.i == ti {
+			tm, other, otherIdx = res.TM1, job.b, job.j
+		}
+		neighbors[i] = Neighbor{
+			ID: other.ID, Index: otherIdx, TM: tm,
+			TM1: res.TM1, TM2: res.TM2, RMSD: res.RMSD,
+			AlignedLen: res.AlignedLen, SeqID: res.SeqID,
+		}
+	}
+	sort.SliceStable(neighbors, func(x, y int) bool {
+		if neighbors[x].TM != neighbors[y].TM {
+			return neighbors[x].TM > neighbors[y].TM
+		}
+		return neighbors[x].Index < neighbors[y].Index
+	})
+	if k > len(neighbors) {
+		k = len(neighbors)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Target    string     `json:"target"`
+		Index     int        `json:"index"`
+		K         int        `json:"k"`
+		Neighbors []Neighbor `json:"neighbors"`
+	}{targetID, ti, k, neighbors[:k]})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status     string  `json:"status"`
+		Structures int     `json:"structures"`
+		UptimeS    float64 `json:"uptime_s"`
+	}{"ok", s.db.Len(), time.Since(s.start).Seconds()})
+}
+
+// BatcherStatsz mirrors batcher.Stats with stable JSON keys.
+type BatcherStatsz struct {
+	Enqueued     int64 `json:"enqueued"`
+	Completed    int64 `json:"completed"`
+	QueueDepth   int64 `json:"queue_depth"`
+	Batches      int64 `json:"batches"`
+	SizeFlushes  int64 `json:"size_flushes"`
+	TimerFlushes int64 `json:"timer_flushes"`
+	CloseFlushes int64 `json:"close_flushes"`
+	MaxBatch     int   `json:"max_batch"`
+}
+
+// HistogramStatsz is a histogram rendered for /statsz.
+type HistogramStatsz struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []int64   `json:"counts"`
+	Count   int64     `json:"count"`
+	Mean    float64   `json:"mean"`
+	Max     float64   `json:"max"`
+}
+
+// LatencyStatsz is one endpoint's latency summary.
+type LatencyStatsz struct {
+	Endpoint string  `json:"endpoint"`
+	Count    int64   `json:"count"`
+	P50S     float64 `json:"p50_s"`
+	P95S     float64 `json:"p95_s"`
+	P99S     float64 `json:"p99_s"`
+	MaxS     float64 `json:"max_s"`
+}
+
+// Statsz is the /statsz payload.
+type Statsz struct {
+	UptimeS    float64                 `json:"uptime_s"`
+	Structures int                     `json:"structures"`
+	Pairstore  pairstore.StatsSnapshot `json:"pairstore"`
+	Batcher    BatcherStatsz           `json:"batcher"`
+	BatchSizes HistogramStatsz         `json:"batch_sizes"`
+	Latency    []LatencyStatsz         `json:"latency"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	bs := s.bat.Stats()
+	st := Statsz{
+		UptimeS:    time.Since(s.start).Seconds(),
+		Structures: s.db.Len(),
+		Pairstore:  s.store.StatsSnapshot(),
+		Batcher: BatcherStatsz{
+			Enqueued: bs.Enqueued, Completed: bs.Completed, QueueDepth: bs.Pending,
+			Batches: bs.Batches, SizeFlushes: bs.SizeFlushes,
+			TimerFlushes: bs.TimerFlushes, CloseFlushes: bs.CloseFlushes,
+			MaxBatch: bs.MaxBatch,
+		},
+	}
+	s.metricsMu.Lock()
+	s.reg.Gauge("server.queue.depth").Set(float64(bs.Pending))
+	bh := s.reg.Histogram("server.batch.size", metrics.CountBuckets)
+	snap := s.reg.Snapshot()
+	st.BatchSizes = HistogramStatsz{
+		Count: bh.Count(), Mean: bh.Mean(), Max: bh.MaxValue(),
+	}
+	for _, hs := range snap.Histograms {
+		if hs.Key == "server.batch.size" {
+			st.BatchSizes.Buckets = hs.Buckets
+			st.BatchSizes.Counts = hs.Counts
+		}
+	}
+	for _, ep := range observedEndpoints {
+		lh := s.reg.Histogram("server.latency_seconds", metrics.TimeBuckets, "endpoint", ep)
+		if lh.Count() == 0 {
+			continue
+		}
+		st.Latency = append(st.Latency, LatencyStatsz{
+			Endpoint: ep, Count: lh.Count(),
+			P50S: lh.Quantile(0.50), P95S: lh.Quantile(0.95), P99S: lh.Quantile(0.99),
+			MaxS: lh.MaxValue(),
+		})
+	}
+	s.metricsMu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
