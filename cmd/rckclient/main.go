@@ -12,6 +12,10 @@
 //	rckclient -addr HOST:PORT -dump FILE [-c N]
 //	rckclient -addr HOST:PORT -stats
 //
+// -burst N repeats the one-vs-all query N times concurrently, verifies
+// the responses are identical, and prints a min/p50/p95/max per-request
+// latency digest on stderr (heavier sweeps belong to rckload).
+//
 // Exit status: 0 on success, 2 on bad usage or an unknown structure
 // (HTTP 404), 1 on any other failure.
 package main
@@ -28,7 +32,9 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
+	"rckalign/internal/loadgen"
 	"rckalign/internal/pdb"
 	"rckalign/internal/sched"
 	"rckalign/internal/synth"
@@ -246,17 +252,20 @@ func (c *client) dump(file string, first, conc int) error {
 }
 
 // onevsall fires burst concurrent one-vs-all queries (exercising the
-// server's coalescer), verifies all responses are identical, and prints
-// one copy.
+// server's coalescer), verifies all responses are identical, prints one
+// copy, and — for bursts — a per-request latency digest on stderr.
 func (c *client) onevsall(target string, burst int) error {
 	bodies := make([][]byte, burst)
 	errs := make([]error, burst)
+	lat := make([]time.Duration, burst)
 	var wg sync.WaitGroup
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			bodies[i], errs[i] = c.do("POST", "/onevsall?format=text&target="+url.QueryEscape(target), nil)
+			lat[i] = time.Since(t0)
 		}(i)
 	}
 	wg.Wait()
@@ -271,7 +280,8 @@ func (c *client) onevsall(target string, burst int) error {
 		}
 	}
 	if burst > 1 {
-		fmt.Fprintf(os.Stderr, "rckclient: %d burst responses identical\n", burst)
+		fmt.Fprintf(os.Stderr, "rckclient: %d burst responses identical; latency %s\n",
+			burst, loadgen.Summarize(lat))
 	}
 	os.Stdout.Write(bodies[0])
 	return nil
@@ -293,7 +303,7 @@ func main() {
 	dump := flag.String("dump", "", "dump every pair's scores to this file in -scores-out format")
 	first := flag.Int("first", 0, "restrict -dump to the first N structures by index (0 = all)")
 	stats := flag.Bool("stats", false, "print /statsz")
-	burst := flag.Int("burst", 1, "repeat -onevsall this many times concurrently")
+	burst := flag.Int("burst", 1, "repeat -onevsall this many times concurrently and print a latency digest")
 	conc := flag.Int("c", 4, "concurrent requests for -upload and -dump")
 	flag.Parse()
 

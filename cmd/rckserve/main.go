@@ -7,12 +7,18 @@
 //
 //	rckserve [-addr HOST:PORT] [-dataset NAME] [-fast]
 //	         [-batch N] [-maxwait DUR] [-workers N] [-queuecap N]
+//	         [-access-log FILE]
 //
 // -dataset preloads a built-in synthetic dataset (CK34 or RS119) in
 // canonical order, so served scores are bit-identical to a batch
 // `rckalign -dataset NAME -scores-out` dump under the same kernel
 // profile; an empty -dataset starts with an empty database fed purely
 // by POST /structures uploads.
+//
+// -access-log appends one JSON line per request (request id, endpoint,
+// status, latency, queue-wait/assembly/compute breakdown, memo
+// outcome) — the structured feed the load generator's SLO reports and
+// DESIGN.md §15 build on. "-" logs to stderr.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
 // in-flight requests finish, queued batches drain, then the process
@@ -37,12 +43,13 @@ import (
 )
 
 type cliFlags struct {
-	Addr     string
-	Dataset  string
-	Batch    int
-	MaxWait  time.Duration
-	Workers  int
-	QueueCap int
+	Addr      string
+	Dataset   string
+	Batch     int
+	MaxWait   time.Duration
+	Workers   int
+	QueueCap  int
+	AccessLog string
 }
 
 func validateFlags(f cliFlags) error {
@@ -77,10 +84,12 @@ func main() {
 	maxWait := flag.Duration("maxwait", 0, "coalescer max wait before flushing a partial batch (0 = default 2ms)")
 	workers := flag.Int("workers", 0, "concurrent batch executors (0 = default 1)")
 	queueCap := flag.Int("queuecap", 0, "submission queue capacity (0 = default 4*batch)")
+	accessLog := flag.String("access-log", "", "append one JSON line per request to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	f := cliFlags{Addr: *addr, Dataset: *dataset, Batch: *batch,
-		MaxWait: *maxWait, Workers: *workers, QueueCap: *queueCap}
+		MaxWait: *maxWait, Workers: *workers, QueueCap: *queueCap,
+		AccessLog: *accessLog}
 	if err := validateFlags(f); err != nil {
 		usageFatal(err)
 	}
@@ -89,6 +98,7 @@ func main() {
 	if *fast {
 		opt = tmalign.FastOptions()
 	}
+	var logClose func() error
 	cfg := server.Config{
 		Dataset: "serve",
 		Options: opt,
@@ -101,6 +111,18 @@ func main() {
 	}
 	if f.Dataset != "" {
 		cfg.Dataset = f.Dataset
+	}
+	switch f.AccessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		lf, err := os.OpenFile(f.AccessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.AccessLog = lf
+		logClose = lf.Close
 	}
 	srv := server.New(cfg)
 	if f.Dataset != "" {
@@ -137,6 +159,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rckserve: shutdown:", err)
 	}
 	srv.Close() // drain queued batches after handlers finished
+	if logClose != nil {
+		if err := logClose(); err != nil {
+			fmt.Fprintln(os.Stderr, "rckserve: access log:", err)
+		}
+	}
 	ps := srv.Store().StatsSnapshot()
 	bs := srv.BatcherStats()
 	fmt.Fprintf(os.Stderr,

@@ -117,15 +117,28 @@ type Result[R any] struct {
 	BatchSize int
 	// Trigger is what flushed that batch.
 	Trigger Trigger
+	// Worker is the index (0..Workers-1) of the executor goroutine that
+	// ran this item's batch — the "which lane computed me" coordinate a
+	// request trace needs for per-worker tracks.
+	Worker int
+	// EnqueuedAt is the host time the item entered the submission queue,
+	// letting a caller place the item's server-side spans on an absolute
+	// timeline (e.g. as offsets from process start).
+	EnqueuedAt time.Time
+	// QueueDepth is the number of pending items at admission, this item
+	// included — the congestion the request observed on arrival.
+	QueueDepth int64
 }
 
 // Stats counts what the batcher has done so far. Pending is the number
 // of items submitted but not yet answered (queue + assembling batch +
-// executing batches).
+// executing batches); PeakPending is its high-water mark over the
+// batcher's lifetime.
 type Stats struct {
 	Enqueued     int64
 	Completed    int64
 	Pending      int64
+	PeakPending  int64
 	Batches      int64
 	SizeFlushes  int64
 	TimerFlushes int64
@@ -139,6 +152,7 @@ type request[T, R any] struct {
 	resp     chan Result[R]
 	enqueued time.Time
 	dequeued time.Time
+	depth    int64 // Pending at admission, this item included
 }
 
 // batch is a flushed group of requests awaiting a worker.
@@ -184,7 +198,7 @@ func New[T, R any](cfg Config, run func([]T) ([]R, error)) (*Batcher[T, R], erro
 	go b.collect()
 	b.workers.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		go b.worker()
+		go b.worker(w)
 	}
 	return b, nil
 }
@@ -201,6 +215,10 @@ func (b *Batcher[T, R]) enqueue(item T) (chan Result[R], error) {
 	b.submitters.Add(1)
 	b.stats.Enqueued++
 	b.stats.Pending++
+	if b.stats.Pending > b.stats.PeakPending {
+		b.stats.PeakPending = b.stats.Pending
+	}
+	r.depth = b.stats.Pending
 	b.mu.Unlock()
 	b.queue <- r
 	b.submitters.Done()
@@ -328,8 +346,9 @@ func (b *Batcher[T, R]) collect() {
 	}
 }
 
-// worker executes flushed batches and delivers per-item results.
-func (b *Batcher[T, R]) worker() {
+// worker executes flushed batches and delivers per-item results. id is
+// the worker's index, reported in every Result it delivers.
+func (b *Batcher[T, R]) worker(id int) {
 	defer b.workers.Done()
 	for bt := range b.batches {
 		start := time.Now()
@@ -344,8 +363,11 @@ func (b *Batcher[T, R]) worker() {
 		done := time.Now()
 		for i, r := range bt.reqs {
 			res := Result[R]{
-				BatchSize: len(bt.reqs),
-				Trigger:   bt.trigger,
+				BatchSize:  len(bt.reqs),
+				Trigger:    bt.trigger,
+				Worker:     id,
+				EnqueuedAt: r.enqueued,
+				QueueDepth: r.depth,
 				Timing: Timing{
 					QueueWait: r.dequeued.Sub(r.enqueued),
 					Assembly:  start.Sub(r.dequeued),

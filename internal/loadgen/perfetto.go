@@ -1,0 +1,135 @@
+// Perfetto export: the whole run as a Chrome trace-event file built on
+// internal/trace. Client-side request spans go on concurrency lanes
+// (one track per simultaneous in-flight slot), server-side compute
+// spans go on one track per batch worker, and counter tracks carry
+// in-flight requests, offered RPS and the coalescer queue depth over
+// time — load ui.perfetto.dev on the output to scrub through the run.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rckalign/internal/trace"
+)
+
+// BuildChromeTrace converts a run's samples into a Chrome trace.
+//
+// All spans live on the client clock (offsets from run start). Server
+// compute spans are placed at the tail of their request's client span
+// ([end-compute, end]), which is exact up to the response's return
+// network delay — good enough to see which worker ran what and when
+// the workers saturate.
+func BuildChromeTrace(samples []Sample, slots []Slot) *trace.ChromeTrace {
+	rec := trace.New()
+
+	// Concurrency lanes: requests sorted by start, greedily packed onto
+	// the first lane that is free — the lane count IS the peak in-flight
+	// level, visible at a glance.
+	order := make([]int, 0, len(samples))
+	for i, s := range samples {
+		if s.Latency > 0 || s.OK() {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := samples[order[a]], samples[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		return order[a] < order[b]
+	})
+	var laneEnd []time.Duration
+	for _, i := range order {
+		s := samples[i]
+		start, end := s.Start, s.Start+s.Latency
+		lane := -1
+		for l, free := range laneEnd {
+			if free <= start {
+				lane = l
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = end
+		label := fmt.Sprintf("%s %s", s.Op, s.ReqID)
+		if !s.OK() {
+			label = fmt.Sprintf("%s %s [%s]", s.Op, s.ReqID, s.ErrClass)
+		}
+		rec.Add(fmt.Sprintf("client/lane%02d", lane), start.Seconds(), end.Seconds(), label)
+	}
+
+	// Server worker tracks: the compute phase of each request, on the
+	// worker that executed its (slowest) batch.
+	workers := map[int][]int{}
+	for i, s := range samples {
+		if s.OK() && s.Server.HasTiming && s.Server.ComputeS > 0 {
+			workers[s.Server.Worker] = append(workers[s.Server.Worker], i)
+		}
+	}
+	wids := make([]int, 0, len(workers))
+	for w := range workers {
+		wids = append(wids, w)
+	}
+	sort.Ints(wids)
+	for _, w := range wids {
+		track := fmt.Sprintf("server/worker-%d", w)
+		for _, i := range workers[w] {
+			s := samples[i]
+			end := (s.Start + s.Latency).Seconds()
+			rec.Add(track, end-s.Server.ComputeS, end,
+				fmt.Sprintf("compute %s batch=%d", s.ReqID, s.Server.BatchSize))
+		}
+	}
+
+	ct := trace.NewChromeTrace()
+	ct.AddRecorder(rec)
+
+	// In-flight requests: +1 at each send, -1 at each completion.
+	type edge struct {
+		t time.Duration
+		d int
+	}
+	var edges []edge
+	for _, s := range samples {
+		edges = append(edges, edge{s.Start, +1}, edge{s.Start + s.Latency, -1})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].t != edges[b].t {
+			return edges[a].t < edges[b].t
+		}
+		return edges[a].d < edges[b].d
+	})
+	var inflight []trace.CounterPoint
+	level := 0
+	for _, e := range edges {
+		level += e.d
+		inflight = append(inflight, trace.CounterPoint{T: e.t.Seconds(), V: float64(level)})
+	}
+	ct.AddCounter("loadgen.inflight", inflight)
+
+	// Offered RPS: the trace's own schedule as a stepped curve.
+	var offered []trace.CounterPoint
+	at := 0.0
+	for _, sl := range slots {
+		offered = append(offered, trace.CounterPoint{T: at, V: sl.RPS})
+		at += sl.Dur.Seconds()
+	}
+	offered = append(offered, trace.CounterPoint{T: at, V: 0})
+	ct.AddCounter("loadgen.offered_rps", offered)
+
+	// Coalescer queue depth, as observed by each request at enqueue.
+	var depth []trace.CounterPoint
+	for _, i := range order {
+		s := samples[i]
+		if s.OK() && s.Server.HasTiming {
+			depth = append(depth, trace.CounterPoint{T: s.Start.Seconds(), V: float64(s.Server.QueueDepth)})
+		}
+	}
+	ct.AddCounter("server.queue_depth", depth)
+	return ct
+}

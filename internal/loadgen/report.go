@@ -1,0 +1,264 @@
+// SLO reporting: exact latency quantiles over recorded samples,
+// per-slot goodput vs offered load, and the knee of the
+// throughput/latency curve from a stepped-ramp sweep.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// LatencyQuantile returns the q-quantile (0..1) of a sorted latency
+// slice by linear interpolation between order statistics. Unlike the
+// bucketed metrics.Histogram.Quantile this is exact — the load
+// generator holds every sample in memory.
+func LatencyQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+// LatencySummary is the min/p50/p95/max digest of a latency set, the
+// compact form CLIs print for a burst.
+type LatencySummary struct {
+	Count int
+	Min   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
+// Summarize digests latencies (order of the input does not matter).
+func Summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return LatencySummary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		P50:   LatencyQuantile(sorted, 0.50),
+		P95:   LatencyQuantile(sorted, 0.95),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// String renders the digest on one line.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d min=%v p50=%v p95=%v max=%v",
+		s.Count, s.Min.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// EndpointSLO is one endpoint's latency quantiles over a run.
+type EndpointSLO struct {
+	Op     string  `json:"op"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// SlotReport is one trace slot's offered-vs-delivered accounting.
+// GoodputRPS counts only successful responses; a saturated server shows
+// goodput flattening below the offered curve while p99 climbs.
+type SlotReport struct {
+	Slot       int     `json:"slot"`
+	OfferedRPS float64 `json:"offered_rps"`
+	// AchievedRPS is requests actually fired / slot duration (equals
+	// offered when the scheduler keeps up).
+	AchievedRPS float64 `json:"achieved_rps"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// Knee locates where a stepped ramp stops being sustainable.
+type Knee struct {
+	// Found is false when the sweep never left the sustainable region
+	// (the knee lies beyond the last slot) or no slot was sustainable.
+	Found bool `json:"found"`
+	// Slot/OfferedRPS/P99Ms describe the last sustainable slot when
+	// Found, else the last slot measured.
+	Slot       int     `json:"slot"`
+	OfferedRPS float64 `json:"offered_rps"`
+	P99Ms      float64 `json:"p99_ms"`
+	// Reason says which criterion the next slot violated ("p99 above
+	// SLO", "goodput below offered"), or why no knee was found.
+	Reason string `json:"reason"`
+}
+
+// FindKnee scans a ramp's slots in order and returns the knee: the last
+// slot that still meets the SLO (p99 <= slo) while delivering goodput
+// >= 95% of offered, such that the following slot violates one of the
+// two. Slots are assumed ordered by increasing offered rate.
+func FindKnee(slots []SlotReport, slo time.Duration) Knee {
+	sloMs := slo.Seconds() * 1e3
+	violation := func(s SlotReport) string {
+		if s.P99Ms > sloMs {
+			return fmt.Sprintf("p99 %.1fms above SLO %.1fms", s.P99Ms, sloMs)
+		}
+		if s.GoodputRPS < 0.95*s.OfferedRPS {
+			return fmt.Sprintf("goodput %.1f below 95%% of offered %.1f", s.GoodputRPS, s.OfferedRPS)
+		}
+		return ""
+	}
+	if len(slots) == 0 {
+		return Knee{Reason: "no slots measured"}
+	}
+	for i, s := range slots {
+		v := violation(s)
+		if v == "" {
+			continue
+		}
+		if i == 0 {
+			return Knee{Slot: s.Slot, OfferedRPS: s.OfferedRPS, P99Ms: s.P99Ms,
+				Reason: "first slot already violates: " + v}
+		}
+		prev := slots[i-1]
+		return Knee{Found: true, Slot: prev.Slot, OfferedRPS: prev.OfferedRPS,
+			P99Ms: prev.P99Ms, Reason: "next slot violates: " + v}
+	}
+	last := slots[len(slots)-1]
+	return Knee{Slot: last.Slot, OfferedRPS: last.OfferedRPS, P99Ms: last.P99Ms,
+		Reason: "no violation within sweep"}
+}
+
+// Report is the SLO report of one run, written as JSON. Quantiles are
+// exact (computed from every sample, not histogram buckets).
+type Report struct {
+	Seed        int64          `json:"seed"`
+	Poisson     bool           `json:"poisson"`
+	Requests    int            `json:"requests"`
+	WallSeconds float64        `json:"wall_seconds"`
+	OfferedRPS  float64        `json:"offered_rps"`
+	GoodputRPS  float64        `json:"goodput_rps"`
+	Errors      map[string]int `json:"errors"`
+	// SchedLagP99Ms is the p99 of (actual send - scheduled send): the
+	// open-loop scheduler's own health. A large value means the client,
+	// not the server, was the bottleneck and latencies are suspect.
+	SchedLagP99Ms float64 `json:"sched_lag_p99_ms"`
+	// MemoHits/MemoMisses aggregate the server-reported memo outcomes.
+	MemoHits   int           `json:"memo_hits"`
+	MemoMisses int           `json:"memo_misses"`
+	Endpoints  []EndpointSLO `json:"endpoints"`
+	Slots      []SlotReport  `json:"slots"`
+	Knee       Knee          `json:"knee"`
+}
+
+func msOf(d time.Duration) float64 { return d.Seconds() * 1e3 }
+
+// BuildReport aggregates a run's samples into the SLO report. slo is
+// the p99 latency objective used by the knee finder.
+func BuildReport(spec SynthSpec, samples []Sample, wall time.Duration, slo time.Duration) *Report {
+	rep := &Report{
+		Seed:        spec.Seed,
+		Poisson:     spec.Poisson,
+		Requests:    len(samples),
+		WallSeconds: wall.Seconds(),
+		Errors:      map[string]int{},
+	}
+	if total := spec.TotalDuration().Seconds(); total > 0 {
+		rep.OfferedRPS = float64(len(samples)) / total
+	}
+
+	good := 0
+	var lags []time.Duration
+	byOp := map[Op][]time.Duration{}
+	opErrs := map[Op]int{}
+	bySlot := map[int][]time.Duration{}
+	slotReqs := map[int]int{}
+	slotErrs := map[int]int{}
+	for _, s := range samples {
+		lags = append(lags, s.Start-s.Scheduled)
+		if s.OK() {
+			good++
+			byOp[s.Op] = append(byOp[s.Op], s.Latency)
+			bySlot[s.Slot] = append(bySlot[s.Slot], s.Latency)
+		} else {
+			rep.Errors[s.ErrClass]++
+			opErrs[s.Op]++
+			slotErrs[s.Slot]++
+		}
+		slotReqs[s.Slot]++
+		rep.MemoHits += s.Server.MemoHits
+		rep.MemoMisses += s.Server.MemoMisses
+	}
+	if total := spec.TotalDuration().Seconds(); total > 0 {
+		rep.GoodputRPS = float64(good) / total
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	rep.SchedLagP99Ms = msOf(LatencyQuantile(lags, 0.99))
+
+	for _, op := range mixOrder {
+		lat, errs := byOp[op], opErrs[op]
+		if len(lat) == 0 && errs == 0 {
+			continue
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		e := EndpointSLO{Op: string(op), Count: len(lat) + errs, Errors: errs}
+		if len(lat) > 0 {
+			e.P50Ms = msOf(LatencyQuantile(lat, 0.50))
+			e.P95Ms = msOf(LatencyQuantile(lat, 0.95))
+			e.P99Ms = msOf(LatencyQuantile(lat, 0.99))
+			e.MaxMs = msOf(lat[len(lat)-1])
+		}
+		rep.Endpoints = append(rep.Endpoints, e)
+	}
+
+	for si, sl := range spec.Slots {
+		lat := bySlot[si]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		sr := SlotReport{
+			Slot: si, OfferedRPS: sl.RPS,
+			Requests: slotReqs[si], Errors: slotErrs[si],
+		}
+		if sec := sl.Dur.Seconds(); sec > 0 {
+			sr.AchievedRPS = float64(slotReqs[si]) / sec
+			sr.GoodputRPS = float64(len(lat)) / sec
+		}
+		if len(lat) > 0 {
+			sr.P50Ms = msOf(LatencyQuantile(lat, 0.50))
+			sr.P95Ms = msOf(LatencyQuantile(lat, 0.95))
+			sr.P99Ms = msOf(LatencyQuantile(lat, 0.99))
+			sr.MaxMs = msOf(lat[len(lat)-1])
+		}
+		rep.Slots = append(rep.Slots, sr)
+	}
+	rep.Knee = FindKnee(rep.Slots, slo)
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON plus a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}

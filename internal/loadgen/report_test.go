@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestLatencyQuantileExact(t *testing.T) {
+	if got := LatencyQuantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := LatencyQuantile(one, q); got != 7*time.Millisecond {
+			t.Errorf("single-sample q%.2f = %v, want 7ms", q, got)
+		}
+	}
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := LatencyQuantile(lat, 0.5); got != 50500*time.Microsecond {
+		t.Errorf("p50 of 1..100ms = %v, want 50.5ms", got)
+	}
+	if got := LatencyQuantile(lat, 1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+	if got := LatencyQuantile(lat, 0); got != time.Millisecond {
+		t.Errorf("p0 = %v, want 1ms", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond})
+	if s.Count != 3 || s.Min != time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 2*time.Millisecond {
+		t.Errorf("p50 = %v, want 2ms", s.P50)
+	}
+	if got := Summarize(nil); got.Count != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+}
+
+func TestFindKnee(t *testing.T) {
+	slo := 100 * time.Millisecond
+	ok := func(slot int, rps, p99 float64) SlotReport {
+		return SlotReport{Slot: slot, OfferedRPS: rps, GoodputRPS: rps, P99Ms: p99}
+	}
+	// Clean knee: slot 2 violates the SLO, so slot 1 is the knee.
+	k := FindKnee([]SlotReport{ok(0, 10, 5), ok(1, 20, 20), ok(2, 30, 400)}, slo)
+	if !k.Found || k.Slot != 1 || k.OfferedRPS != 20 {
+		t.Errorf("knee = %+v, want found at slot 1 / 20 RPS", k)
+	}
+	// Goodput collapse triggers the knee even when p99 looks fine.
+	sat := SlotReport{Slot: 2, OfferedRPS: 30, GoodputRPS: 20, P99Ms: 50}
+	k = FindKnee([]SlotReport{ok(0, 10, 5), ok(1, 20, 20), sat}, slo)
+	if !k.Found || k.Slot != 1 {
+		t.Errorf("goodput knee = %+v, want found at slot 1", k)
+	}
+	// No violation: knee not found, last slot reported.
+	k = FindKnee([]SlotReport{ok(0, 10, 5), ok(1, 20, 20)}, slo)
+	if k.Found || k.Slot != 1 {
+		t.Errorf("no-violation knee = %+v", k)
+	}
+	// First slot already over: not found.
+	k = FindKnee([]SlotReport{ok(0, 10, 500)}, slo)
+	if k.Found {
+		t.Errorf("first-slot violation marked found: %+v", k)
+	}
+	if k = FindKnee(nil, slo); k.Found {
+		t.Errorf("empty slots found a knee: %+v", k)
+	}
+}
+
+// synthSamples builds a deterministic sample set over a 2-slot spec.
+func synthSamples() (SynthSpec, []Sample) {
+	spec := SynthSpec{
+		Seed:  1,
+		Slots: []Slot{{RPS: 2, Dur: time.Second}, {RPS: 2, Dur: time.Second}},
+	}
+	mk := func(i, slot int, op Op, lat time.Duration, errClass string) Sample {
+		s := Sample{
+			Index: i, Op: op, Slot: slot, ReqID: "load-1-0",
+			Scheduled: time.Duration(i) * 100 * time.Millisecond,
+			Start:     time.Duration(i)*100*time.Millisecond + time.Millisecond,
+			Latency:   lat, Status: 200,
+			Server: ServerTiming{HasTiming: true, ComputeS: lat.Seconds() / 2,
+				MemoHits: 1, QueueDepth: int64(i + 1)},
+		}
+		if errClass != "" {
+			s.Status, s.ErrClass, s.Err = 404, errClass, "nope"
+			s.Server = ServerTiming{}
+		}
+		return s
+	}
+	samples := []Sample{
+		mk(0, 0, OpScore, 10*time.Millisecond, ""),
+		mk(1, 0, OpScore, 20*time.Millisecond, ""),
+		mk(2, 1, OpOneVsAll, 40*time.Millisecond, ""),
+		mk(3, 1, OpScore, 0, ErrClass4xx),
+	}
+	return spec, samples
+}
+
+func TestBuildReport(t *testing.T) {
+	spec, samples := synthSamples()
+	rep := BuildReport(spec, samples, 2*time.Second, 100*time.Millisecond)
+	if rep.Requests != 4 {
+		t.Errorf("requests = %d", rep.Requests)
+	}
+	if rep.Errors[ErrClass4xx] != 1 {
+		t.Errorf("errors = %+v", rep.Errors)
+	}
+	if rep.GoodputRPS != 1.5 {
+		t.Errorf("goodput = %v, want 1.5 (3 ok / 2s)", rep.GoodputRPS)
+	}
+	if rep.OfferedRPS != 2 {
+		t.Errorf("offered = %v, want 2 (4 req / 2s)", rep.OfferedRPS)
+	}
+	if rep.MemoHits != 3 {
+		t.Errorf("memo hits = %d, want 3", rep.MemoHits)
+	}
+	if len(rep.Slots) != 2 {
+		t.Fatalf("slots = %d", len(rep.Slots))
+	}
+	if rep.Slots[1].Errors != 1 || rep.Slots[1].GoodputRPS != 1 {
+		t.Errorf("slot 1 = %+v", rep.Slots[1])
+	}
+	var gotScore bool
+	for _, e := range rep.Endpoints {
+		if e.Op == "score" {
+			gotScore = true
+			if e.Count != 3 || e.Errors != 1 {
+				t.Errorf("score endpoint = %+v", e)
+			}
+		}
+	}
+	if !gotScore {
+		t.Error("no score endpoint in report")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+}
+
+func TestBuildChromeTraceFromSamples(t *testing.T) {
+	spec, samples := synthSamples()
+	ct := BuildChromeTrace(samples, spec.Slots)
+	if ct.Events() == 0 {
+		t.Fatal("empty chrome trace")
+	}
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tracks := map[string]bool{}
+	counters := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			tracks[e.Args["name"].(string)] = true
+		}
+		if e.Ph == "C" {
+			counters[e.Name] = true
+		}
+	}
+	if !tracks["client/lane00"] {
+		t.Errorf("no client lane track: %v", tracks)
+	}
+	if !tracks["server/worker-0"] {
+		t.Errorf("no worker track: %v", tracks)
+	}
+	for _, c := range []string{"loadgen.inflight", "loadgen.offered_rps", "server.queue_depth"} {
+		if !counters[c] {
+			t.Errorf("missing counter track %s (have %v)", c, counters)
+		}
+	}
+}

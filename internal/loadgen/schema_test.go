@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+	"time"
+)
+
+// validateSchema checks val against the JSON Schema subset the golden
+// schema uses: type / required / properties / items. It returns every
+// violation, so a drifted report names all missing fields at once.
+func validateSchema(schema map[string]any, val any, path string) []string {
+	var errs []string
+	if want, ok := schema["type"].(string); ok {
+		if !typeMatches(want, val) {
+			return []string{fmt.Sprintf("%s: got %T, want %s", path, val, want)}
+		}
+	}
+	if obj, ok := val.(map[string]any); ok {
+		if req, ok := schema["required"].([]any); ok {
+			for _, k := range req {
+				if _, present := obj[k.(string)]; !present {
+					errs = append(errs, fmt.Sprintf("%s: missing required field %q", path, k))
+				}
+			}
+		}
+		if props, ok := schema["properties"].(map[string]any); ok {
+			for k, sub := range props {
+				if v, present := obj[k]; present {
+					errs = append(errs, validateSchema(sub.(map[string]any), v, path+"."+k)...)
+				}
+			}
+		}
+	}
+	if arr, ok := val.([]any); ok {
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, v := range arr {
+				errs = append(errs, validateSchema(items, v, fmt.Sprintf("%s[%d]", path, i))...)
+			}
+		}
+	}
+	return errs
+}
+
+func typeMatches(want string, val any) bool {
+	switch want {
+	case "object":
+		_, ok := val.(map[string]any)
+		return ok
+	case "array":
+		_, ok := val.([]any)
+		return ok
+	case "string":
+		_, ok := val.(string)
+		return ok
+	case "boolean":
+		_, ok := val.(bool)
+		return ok
+	case "number":
+		_, ok := val.(float64)
+		return ok
+	case "integer":
+		f, ok := val.(float64)
+		return ok && f == math.Trunc(f)
+	}
+	return false
+}
+
+// TestReportMatchesGoldenSchema pins the SLO report's JSON shape to
+// testdata/slo_schema.json — the same file the CI load-smoke job
+// validates a live rckload report against. Renaming or removing a
+// report field fails here before it fails in CI.
+func TestReportMatchesGoldenSchema(t *testing.T) {
+	raw, err := os.ReadFile("../../testdata/slo_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema map[string]any
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatalf("schema is not valid JSON: %v", err)
+	}
+
+	spec, samples := synthSamples()
+	rep := BuildReport(spec, samples, 2*time.Second, 100*time.Millisecond)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range validateSchema(schema, doc, "report") {
+		t.Error(e)
+	}
+
+	// The validator itself must reject a drifted report.
+	var broken map[string]any
+	json.Unmarshal(buf.Bytes(), &broken)
+	delete(broken, "knee")
+	broken["requests"] = "many"
+	errs := validateSchema(schema, any(broken), "report")
+	if len(errs) < 2 {
+		t.Errorf("validator accepted a drifted report: %v", errs)
+	}
+}

@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRampShape(t *testing.T) {
+	slots := Ramp(10, 10, 50, 2*time.Second)
+	if len(slots) != 5 {
+		t.Fatalf("ramp 10..50 step 10: %d slots, want 5", len(slots))
+	}
+	for i, sl := range slots {
+		want := float64(10 * (i + 1))
+		if sl.RPS != want || sl.Dur != 2*time.Second {
+			t.Errorf("slot %d = %+v, want RPS %v dur 2s", i, sl, want)
+		}
+	}
+	// Step overshooting the target clamps the last slot to the target.
+	slots = Ramp(10, 15, 30, time.Second)
+	rates := []float64{10, 25, 30}
+	if len(slots) != len(rates) {
+		t.Fatalf("clamped ramp: %d slots, want %d", len(slots), len(rates))
+	}
+	for i, want := range rates {
+		if slots[i].RPS != want {
+			t.Errorf("clamped ramp slot %d RPS = %v, want %v", i, slots[i].RPS, want)
+		}
+	}
+	// Non-positive step degenerates to the single start slot.
+	if got := Ramp(20, 0, 100, time.Second); len(got) != 1 || got[0].RPS != 20 {
+		t.Errorf("zero-step ramp = %+v, want single 20-RPS slot", got)
+	}
+}
+
+func TestConstantAndBurstAndDiurnalCoverTotal(t *testing.T) {
+	for name, slots := range map[string][]Slot{
+		"constant": Constant(25, 10*time.Second, 3*time.Second),
+		"burst":    Burst(10, 80, 4*time.Second, time.Second, 10*time.Second),
+		"diurnal":  Diurnal(30, 20, 8*time.Second, time.Second, 10*time.Second),
+	} {
+		var total time.Duration
+		for i, sl := range slots {
+			if sl.Dur <= 0 {
+				t.Errorf("%s slot %d has non-positive duration", name, i)
+			}
+			if sl.RPS < 0 {
+				t.Errorf("%s slot %d has negative rate", name, i)
+			}
+			total += sl.Dur
+		}
+		if total != 10*time.Second {
+			t.Errorf("%s covers %v, want 10s", name, total)
+		}
+	}
+}
+
+func TestBurstAlternates(t *testing.T) {
+	slots := Burst(5, 50, 4*time.Second, time.Second, 12*time.Second)
+	sawBurst := false
+	for _, sl := range slots {
+		if sl.RPS == 50 {
+			sawBurst = true
+			if sl.Dur > time.Second {
+				t.Errorf("burst slot longer than burstDur: %v", sl.Dur)
+			}
+		}
+	}
+	if !sawBurst {
+		t.Error("no burst slot in burst trace")
+	}
+}
+
+func TestSynthesizeDeterministicAndOrdered(t *testing.T) {
+	spec := SynthSpec{Seed: 42, Slots: Ramp(20, 20, 60, time.Second), Poisson: true}
+	a1, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := Synthesize(spec)
+	if len(a1) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	for i := 1; i < len(a1); i++ {
+		if a1[i].At < a1[i-1].At {
+			t.Fatalf("arrivals not ordered at %d: %v < %v", i, a1[i].At, a1[i-1].At)
+		}
+	}
+	spec.Seed = 43
+	a3, _ := Synthesize(spec)
+	same := len(a3) == len(a1)
+	if same {
+		for i := range a1 {
+			if a1[i] != a3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical Poisson schedules")
+	}
+}
+
+func TestSynthesizeUniformCountsAndMix(t *testing.T) {
+	spec := SynthSpec{
+		Seed:  7,
+		Slots: []Slot{{RPS: 100, Dur: 10 * time.Second}},
+		Mix:   Mix{OpScore: 0.8, OpOneVsAll: 0.2},
+	}
+	arr, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 1000 {
+		t.Fatalf("uniform 100 RPS x 10s = %d arrivals, want 1000", len(arr))
+	}
+	counts := map[Op]int{}
+	for _, a := range arr {
+		counts[a.Op]++
+	}
+	if counts[OpTopK] != 0 {
+		t.Errorf("zero-weight op sampled %d times", counts[OpTopK])
+	}
+	frac := float64(counts[OpScore]) / float64(len(arr))
+	if math.Abs(frac-0.8) > 0.05 {
+		t.Errorf("score fraction %.3f, want ~0.8", frac)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(SynthSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := Synthesize(SynthSpec{Slots: []Slot{{RPS: -1, Dur: time.Second}}}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Synthesize(SynthSpec{Slots: []Slot{{RPS: 1, Dur: 0}}}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Synthesize(SynthSpec{Slots: []Slot{{RPS: 1, Dur: time.Second}}, Mix: Mix{OpScore: 0}}); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+}
+
+func TestBuildRequestsDeterministicSchedule(t *testing.T) {
+	arr, err := Synthesize(SynthSpec{Seed: 5, Slots: Ramp(10, 10, 30, time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a", "b", "c", "d"}
+	r1, err := BuildRequests(arr, ids, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := BuildRequests(arr, ids, 5, 3)
+	var b1, b2 bytes.Buffer
+	if err := WriteSchedule(&b1, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSchedule(&b2, r2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("same seed produced different schedule dumps")
+	}
+	for i, r := range r1 {
+		if r.ReqID == "" || r.Path == "" || r.Method == "" {
+			t.Fatalf("request %d incomplete: %+v", i, r)
+		}
+	}
+	// score requests must name two distinct structures.
+	for _, r := range r1 {
+		if r.Op == OpScore {
+			if r.Path[:7] != "/score?" {
+				t.Fatalf("score path %q", r.Path)
+			}
+		}
+	}
+	if _, err := BuildRequests(arr, []string{"only"}, 5, 3); err == nil {
+		t.Error("single-structure pool accepted")
+	}
+}

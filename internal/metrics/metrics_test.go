@@ -212,3 +212,22 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Errorf("median = %v, want inside the lower bucket [0.5, 1]", got)
 	}
 }
+
+// TestHistogramQuantileOverflowBucket pins the overflow path: with all
+// mass above the last bound, every quantile stays clamped inside the
+// observed range instead of extrapolating to infinity.
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for i := 0; i < 50; i++ {
+		h.Observe(100 + float64(i))
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 100 || got > 149 {
+			t.Errorf("overflow-bucket q=%v -> %v, want within observed [100, 149]", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 149 {
+		t.Errorf("q=1 -> %v, want exact max 149", got)
+	}
+}

@@ -137,15 +137,25 @@ func (s *Store) StatsSnapshot() StatsSnapshot {
 // its value. compute must be pure. On a nil store, Get just runs
 // compute.
 func (s *Store) Get(k Key, compute func() any) any {
+	v, _ := s.GetHit(k, compute)
+	return v
+}
+
+// GetHit is Get plus the memoization outcome: hit is true when the
+// value came from an existing entry (including waiting on another
+// caller's in-flight computation) and false when this call ran compute.
+// A request-tracing layer uses it to attribute each served pair to a
+// memo hit or miss. On a nil store it runs compute and reports a miss.
+func (s *Store) GetHit(k Key, compute func() any) (v any, hit bool) {
 	if s == nil {
-		return compute()
+		return compute(), false
 	}
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.stats.Hits++
 		s.mu.Unlock()
 		<-e.ready
-		return e.value
+		return e.value, true
 	}
 	e := &entry{ready: make(chan struct{})}
 	s.entries[k] = e
@@ -154,7 +164,7 @@ func (s *Store) Get(k Key, compute func() any) any {
 
 	e.value = compute()
 	close(e.ready)
-	return e.value
+	return e.value, false
 }
 
 // Prefetch evaluates all keys on the store's worker pool and memoizes

@@ -185,3 +185,41 @@ func TestStatsSnapshotConcurrent(t *testing.T) {
 		t.Errorf("snapshot = %+v, want 10 entries and 400 gets", snap)
 	}
 }
+
+// TestGetHitOutcome pins the memoization outcome GetHit reports: false
+// on first computation, true on every later read — including a reader
+// that waited on another caller's in-flight compute — and false with a
+// miss-like compute on a nil store.
+func TestGetHitOutcome(t *testing.T) {
+	s := New(2)
+	v, hit := s.GetHit(key(9), func() any { return 7 })
+	if v != 7 || hit {
+		t.Fatalf("first GetHit = (%v, %v), want (7, false)", v, hit)
+	}
+	v, hit = s.GetHit(key(9), func() any { t.Fatal("recomputed"); return nil })
+	if v != 7 || !hit {
+		t.Fatalf("second GetHit = (%v, %v), want (7, true)", v, hit)
+	}
+
+	// A waiter on an in-flight compute counts as a hit.
+	begun := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan bool, 1)
+	go s.GetHit(key(10), func() any { close(begun); <-release; return 1 })
+	<-begun
+	go func() {
+		_, hit := s.GetHit(key(10), func() any { return 2 })
+		done <- hit
+	}()
+	close(release)
+	if hit := <-done; !hit {
+		t.Error("waiter on in-flight compute reported a miss")
+	}
+
+	var nilStore *Store
+	calls := 0
+	v, hit = nilStore.GetHit(key(1), func() any { calls++; return 5 })
+	if v != 5 || hit || calls != 1 {
+		t.Errorf("nil-store GetHit = (%v, %v) after %d calls, want (5, false) after 1", v, hit, calls)
+	}
+}

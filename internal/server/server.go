@@ -34,6 +34,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rckalign/internal/batcher"
@@ -76,14 +78,32 @@ type Config struct {
 	// evaluation inline. It forfeits the exactly-once guarantee and
 	// exists only as the uncoalesced baseline for benchmarks.
 	DisableMemo bool
+	// AccessLog, when non-nil, receives one JSON line per completed
+	// request: request ID, endpoint, status, latency, the coalescer
+	// timing breakdown, batch size/trigger and memo hit/miss counts.
+	// Writes are serialized by the server.
+	AccessLog io.Writer
 }
 
 // pairJob is one canonical pair evaluation: a is the structure with the
 // lower database index, so Compare's argument order — and therefore the
-// exact result bits — match a batch run over the same structures.
+// exact result bits — match a batch run over the same structures. req
+// is the ID of the HTTP request that submitted the pair; it rides
+// through the batcher so a flushed batch knows which requests it
+// coalesced (it never enters the pairstore key — memoization stays
+// request-independent).
 type pairJob struct {
 	i, j int
 	a, b *pdb.Structure
+	req  string
+}
+
+// pairOut is one evaluated pair plus its memoization outcome, the unit
+// the batcher returns so responses and the access log can report memo
+// hit/miss per request.
+type pairOut struct {
+	res *tmalign.Result
+	hit bool
 }
 
 // Server is the comparison service. Create with New, expose with
@@ -94,19 +114,25 @@ type Server struct {
 	kernel  string
 	db      *DB
 	store   *pairstore.Store
-	bat     *batcher.Batcher[pairJob, *tmalign.Result]
+	bat     *batcher.Batcher[pairJob, pairOut]
 	mux     *http.ServeMux
 	start   time.Time
+	seq     atomic.Int64 // request-ID sequence for requests without one
 
 	// The metrics registry is not internally synchronized (it was built
 	// for the single-goroutine simulator), so every access goes through
 	// metricsMu.
 	metricsMu sync.Mutex
 	reg       *metrics.Registry
+
+	// accessMu serializes access-log lines (accessLog is nil when
+	// logging is off).
+	accessMu  sync.Mutex
+	accessLog io.Writer
 }
 
 // endpoints instrumented with latency histograms, in /statsz order.
-var observedEndpoints = []string{"onevsall", "score", "structures", "topk"}
+var observedEndpoints = []string{"healthz", "list", "onevsall", "score", "statsz", "structures", "topk"}
 
 // New builds and starts a server (its batcher goroutines run until
 // Close).
@@ -115,13 +141,14 @@ func New(cfg Config) *Server {
 		cfg.Dataset = "serve"
 	}
 	s := &Server{
-		dataset: cfg.Dataset,
-		opt:     cfg.Options,
-		kernel:  cfg.Options.Key(),
-		db:      NewDB(),
-		store:   cfg.Store,
-		reg:     metrics.New(),
-		start:   time.Now(),
+		dataset:   cfg.Dataset,
+		opt:       cfg.Options,
+		kernel:    cfg.Options.Key(),
+		db:        NewDB(),
+		store:     cfg.Store,
+		reg:       metrics.New(),
+		start:     time.Now(),
+		accessLog: cfg.AccessLog,
 	}
 	if s.store == nil && !cfg.DisableMemo {
 		s.store = pairstore.New(0)
@@ -143,12 +170,12 @@ func New(cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /structures", s.observe("structures", s.handleUpload))
-	mux.HandleFunc("GET /structures", s.handleList)
+	mux.HandleFunc("GET /structures", s.observe("list", s.handleList))
 	mux.HandleFunc("GET /score", s.observe("score", s.handleScore))
 	mux.HandleFunc("POST /onevsall", s.observe("onevsall", s.handleOneVsAll))
 	mux.HandleFunc("GET /topk", s.observe("topk", s.handleTopK))
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /healthz", s.observe("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /statsz", s.observe("statsz", s.handleStatsz))
 	s.mux = mux
 	return s
 }
@@ -185,14 +212,22 @@ func (s *Server) Preload(structs []*pdb.Structure) error {
 // runBatch evaluates one flushed batch. Each pair goes through the
 // memoized store (single-flight, exactly-once); with memoization
 // disabled it computes inline — a nil *pairstore.Store degrades to
-// exactly that.
-func (s *Server) runBatch(jobs []pairJob) ([]*tmalign.Result, error) {
-	out := make([]*tmalign.Result, len(jobs))
+// exactly that. Per pair it reports the memo outcome, and per batch it
+// records how many distinct requests were coalesced into it (the
+// request IDs propagated through the batcher ride on each job).
+func (s *Server) runBatch(jobs []pairJob) ([]pairOut, error) {
+	out := make([]pairOut, len(jobs))
+	reqs := map[string]struct{}{}
 	for k, j := range jobs {
-		out[k] = s.store.Get(s.keyFor(j), func() any {
+		v, hit := s.store.GetHit(s.keyFor(j), func() any {
 			return tmalign.Compare(j.a, j.b, s.opt)
-		}).(*tmalign.Result)
+		})
+		out[k] = pairOut{res: v.(*tmalign.Result), hit: hit}
+		reqs[j.req] = struct{}{}
 	}
+	s.metricsMu.Lock()
+	s.reg.Histogram("server.batch.requests", metrics.CountBuckets).Observe(float64(len(reqs)))
+	s.metricsMu.Unlock()
 	return out, nil
 }
 
@@ -200,12 +235,13 @@ func (s *Server) keyFor(j pairJob) pairstore.Key {
 	return pairstore.Key{Dataset: s.dataset, Kernel: s.kernel, A: j.a.ID, B: j.b.ID}
 }
 
-// canonicalJob orients a pair by database index: lower index first.
-func canonicalJob(i int, a *pdb.Structure, j int, b *pdb.Structure) pairJob {
+// canonicalJob orients a pair by database index: lower index first. req
+// is the submitting request's ID.
+func canonicalJob(req string, i int, a *pdb.Structure, j int, b *pdb.Structure) pairJob {
 	if i < j {
-		return pairJob{i: i, j: j, a: a, b: b}
+		return pairJob{i: i, j: j, a: a, b: b, req: req}
 	}
-	return pairJob{i: j, j: i, a: b, b: a}
+	return pairJob{i: j, j: i, a: b, b: a, req: req}
 }
 
 // ScoreLine formats one pair result exactly as cmd/rckalign -scores-out
@@ -216,41 +252,146 @@ func ScoreLine(i, j int, r *tmalign.Result) string {
 		i, j, r.TM1, r.TM2, r.RMSD, r.AlignedLen, r.SeqID)
 }
 
-// observe wraps a handler with a per-endpoint latency histogram and
-// request counter.
+// reqInfo is the per-request trace record: assigned in observe, carried
+// through the handler via the request context, filled in as the request
+// flows through the coalescer, and finally emitted as one access-log
+// line. Handlers mutate it from the single handler goroutine only.
+type reqInfo struct {
+	id       string
+	endpoint string
+	t0       time.Time
+	status   int
+	timing   TimingBreakdown
+	batch    int
+	trigger  string
+	memoHit  int
+	memoMiss int
+	errMsg   string
+}
+
+type reqInfoKey struct{}
+
+// infoFrom returns the request's trace record; handlers are always
+// invoked under observe, so a missing record is a throwaway (it keeps
+// direct handler invocations in tests from panicking).
+func infoFrom(r *http.Request) *reqInfo {
+	if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return info
+	}
+	return &reqInfo{t0: time.Now()}
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	info *reqInfo
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.info.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// AccessEntry is one access-log line: the end-to-end record of a
+// request, written as JSON. TOffsetS is the arrival time as an offset
+// from server start, on the same clock as ScoreResponse.EnqueueOffsetS,
+// so log lines and trace spans line up.
+type AccessEntry struct {
+	TOffsetS  float64         `json:"t_offset_s"`
+	ReqID     string          `json:"req_id"`
+	Endpoint  string          `json:"endpoint"`
+	Status    int             `json:"status"`
+	LatencyS  float64         `json:"latency_s"`
+	Timing    TimingBreakdown `json:"timing"`
+	BatchSize int             `json:"batch_size"`
+	Trigger   string          `json:"trigger,omitempty"`
+	MemoHits  int             `json:"memo_hits"`
+	MemoMiss  int             `json:"memo_misses"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// observe wraps every handler with the request-tracing layer: it
+// assigns (or adopts, from an X-Request-ID header) the request ID,
+// echoes it as a response header, threads a trace record through the
+// handler, records the per-endpoint latency histogram, and emits one
+// access-log line when configured.
 func (s *Server) observe(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		fn(w, r)
-		sec := time.Since(t0).Seconds()
+		info := &reqInfo{
+			id:       r.Header.Get("X-Request-ID"),
+			endpoint: endpoint,
+			t0:       time.Now(),
+			status:   http.StatusOK,
+		}
+		if info.id == "" {
+			info.id = fmt.Sprintf("r%08d", s.seq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", info.id)
+		sw := &statusWriter{ResponseWriter: w, info: info}
+		fn(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info)))
+		sec := time.Since(info.t0).Seconds()
+		if info.timing.TotalS == 0 {
+			// No coalescer trip (errors, non-query endpoints): the handler
+			// time is the whole story.
+			info.timing.TotalS = sec
+		}
 		s.metricsMu.Lock()
 		s.reg.Histogram("server.latency_seconds", metrics.TimeBuckets, "endpoint", endpoint).Observe(sec)
 		s.reg.Counter("server.requests", "endpoint", endpoint).Inc()
 		s.metricsMu.Unlock()
+		if s.accessLog != nil {
+			line, err := json.Marshal(AccessEntry{
+				TOffsetS: info.t0.Sub(s.start).Seconds(), ReqID: info.id,
+				Endpoint: endpoint, Status: info.status, LatencyS: sec,
+				Timing: info.timing, BatchSize: info.batch, Trigger: info.trigger,
+				MemoHits: info.memoHit, MemoMiss: info.memoMiss, Error: info.errMsg,
+			})
+			if err == nil {
+				s.accessMu.Lock()
+				s.accessLog.Write(append(line, '\n'))
+				s.accessMu.Unlock()
+			}
+		}
 	}
 }
 
-// fail writes a one-line error and counts it. Error taxonomy: typed
-// lookup errors map to 404/409, batcher shutdown to 503, everything
-// explicitly passed stays at the given code.
-func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+// ErrorResponse is the JSON body of every error reply. Timing is
+// populated on all paths — for requests rejected before reaching the
+// coalescer (404/409/400) it carries the handler time in TotalS — so
+// clients can account every request's latency the same way.
+type ErrorResponse struct {
+	Error  string          `json:"error"`
+	ReqID  string          `json:"req_id"`
+	Timing TimingBreakdown `json:"timing"`
+}
+
+// fail writes a JSON error carrying the request ID and timing, and
+// counts it. Error taxonomy: typed lookup errors map to 404/409,
+// batcher shutdown to 503, everything explicitly passed stays at the
+// given code.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, err error) {
 	s.metricsMu.Lock()
 	s.reg.Counter("server.errors", "code", strconv.Itoa(code)).Inc()
 	s.metricsMu.Unlock()
-	http.Error(w, err.Error(), code)
+	info := infoFrom(r)
+	info.errMsg = err.Error()
+	if info.timing.TotalS == 0 {
+		info.timing.TotalS = time.Since(info.t0).Seconds()
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error(), ReqID: info.id, Timing: info.timing})
 }
 
 // failErr maps an error to its HTTP status by type.
-func (s *Server) failErr(w http.ResponseWriter, err error) {
+func (s *Server) failErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownStructure):
-		s.fail(w, http.StatusNotFound, err)
+		s.fail(w, r, http.StatusNotFound, err)
 	case errors.Is(err, ErrDuplicateStructure):
-		s.fail(w, http.StatusConflict, err)
+		s.fail(w, r, http.StatusConflict, err)
 	case errors.Is(err, batcher.ErrClosed):
-		s.fail(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		s.fail(w, r, http.StatusServiceUnavailable, errors.New("server is draining"))
 	default:
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 	}
 }
 
@@ -267,31 +408,32 @@ type UploadResponse struct {
 	ID       string `json:"id"`
 	Index    int    `json:"index"`
 	Residues int    `json:"residues"`
+	ReqID    string `json:"req_id"`
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
 	if len(body) > maxUploadBytes {
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		s.fail(w, r, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("upload exceeds %d bytes", maxUploadBytes))
 		return
 	}
 	st, err := pdb.Parse(bytes.NewReader(body), id)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	idx, err := s.db.Add(st)
 	if err != nil {
-		s.failErr(w, err)
+		s.failErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, UploadResponse{ID: st.ID, Index: idx, Residues: st.Len()})
+	writeJSON(w, http.StatusCreated, UploadResponse{ID: st.ID, Index: idx, Residues: st.Len(), ReqID: infoFrom(r).id})
 }
 
 // StructureInfo describes one stored structure in listings.
@@ -310,7 +452,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Count      int             `json:"count"`
 		Structures []StructureInfo `json:"structures"`
-	}{len(infos), infos})
+		ReqID      string          `json:"req_id"`
+	}{len(infos), infos, infoFrom(r).id})
 }
 
 // ScoreRow is one pair's scores in canonical orientation: I < J are
@@ -353,62 +496,87 @@ func timingOf(t batcher.Timing) TimingBreakdown {
 	}
 }
 
-// ScoreResponse is the /score reply.
+// ScoreResponse is the /score reply. ReqID, Worker, MemoHit,
+// QueueDepth and EnqueueOffsetS are the request-tracing fields: which
+// request this was, which batch worker computed it, whether the pair
+// came from the memo store, the coalescer backlog it saw on arrival,
+// and when (as an offset from server start) it entered the queue — the
+// coordinates a load generator needs to rebuild server-side trace
+// spans.
 type ScoreResponse struct {
 	ScoreRow
-	BatchSize int             `json:"batch_size"`
-	Trigger   string          `json:"trigger"`
-	Timing    TimingBreakdown `json:"timing"`
+	ReqID          string          `json:"req_id"`
+	BatchSize      int             `json:"batch_size"`
+	Trigger        string          `json:"trigger"`
+	Timing         TimingBreakdown `json:"timing"`
+	Worker         int             `json:"worker"`
+	MemoHit        bool            `json:"memo_hit"`
+	QueueDepth     int64           `json:"queue_depth"`
+	EnqueueOffsetS float64         `json:"enqueue_offset_s"`
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	info := infoFrom(r)
 	q := r.URL.Query()
 	aID, bID := q.Get("a"), q.Get("b")
 	if aID == "" || bID == "" {
-		s.fail(w, http.StatusBadRequest, errors.New("need a= and b= structure ids"))
+		s.fail(w, r, http.StatusBadRequest, errors.New("need a= and b= structure ids"))
 		return
 	}
 	ai, a, err := s.db.Lookup(aID)
 	if err != nil {
-		s.failErr(w, err)
+		s.failErr(w, r, err)
 		return
 	}
 	bi, b, err := s.db.Lookup(bID)
 	if err != nil {
-		s.failErr(w, err)
+		s.failErr(w, r, err)
 		return
 	}
 	if ai == bi {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("a and b are both structure %q", aID))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("a and b are both structure %q", aID))
 		return
 	}
-	job := canonicalJob(ai, a, bi, b)
+	job := canonicalJob(info.id, ai, a, bi, b)
 	res, err := s.bat.Submit(job)
 	if err != nil {
-		s.failErr(w, err)
+		s.failErr(w, r, err)
 		return
 	}
 	if res.Err != nil {
-		s.failErr(w, res.Err)
+		s.failErr(w, r, res.Err)
 		return
+	}
+	info.timing = timingOf(res.Timing)
+	info.batch, info.trigger = res.BatchSize, res.Trigger.String()
+	if res.Value.hit {
+		info.memoHit++
+	} else {
+		info.memoMiss++
 	}
 	if q.Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, ScoreLine(job.i, job.j, res.Value))
+		io.WriteString(w, ScoreLine(job.i, job.j, res.Value.res))
 		return
 	}
 	writeJSON(w, http.StatusOK, ScoreResponse{
-		ScoreRow:  rowOf(job, res.Value),
-		BatchSize: res.BatchSize,
-		Trigger:   res.Trigger.String(),
-		Timing:    timingOf(res.Timing),
+		ScoreRow:       rowOf(job, res.Value.res),
+		ReqID:          info.id,
+		BatchSize:      res.BatchSize,
+		Trigger:        res.Trigger.String(),
+		Timing:         timingOf(res.Timing),
+		Worker:         res.Worker,
+		MemoHit:        res.Value.hit,
+		QueueDepth:     res.QueueDepth,
+		EnqueueOffsetS: res.EnqueuedAt.Sub(s.start).Seconds(),
 	})
 }
 
 // oneVsAll resolves the target, expands it against every other stored
 // structure (snapshot at request time), and runs the pairs through the
-// coalescer. Rows come back sorted by canonical pair.
-func (s *Server) oneVsAll(targetID string) (int, []pairJob, []batcher.Result[*tmalign.Result], error) {
+// coalescer under the given request ID. Rows come back sorted by
+// canonical pair.
+func (s *Server) oneVsAll(req, targetID string) (int, []pairJob, []batcher.Result[pairOut], error) {
 	ti, _, err := s.db.Lookup(targetID)
 	if err != nil {
 		return 0, nil, nil, err
@@ -419,7 +587,7 @@ func (s *Server) oneVsAll(targetID string) (int, []pairJob, []batcher.Result[*tm
 		if o == ti {
 			continue
 		}
-		jobs = append(jobs, canonicalJob(ti, structs[ti], o, st))
+		jobs = append(jobs, canonicalJob(req, ti, structs[ti], o, st))
 	}
 	results, err := s.bat.SubmitAll(jobs)
 	if err != nil {
@@ -433,44 +601,90 @@ func (s *Server) oneVsAll(targetID string) (int, []pairJob, []batcher.Result[*tm
 	return ti, jobs, results, nil
 }
 
+// recordItems folds a multi-pair request's batcher results into the
+// trace record: memo hit/miss counts, the slowest item's breakdown (the
+// request's critical path through the coalescer), and the largest batch
+// any item rode in.
+func recordItems(info *reqInfo, results []batcher.Result[pairOut]) batcher.Timing {
+	var maxT batcher.Timing
+	for _, res := range results {
+		if res.Value.hit {
+			info.memoHit++
+		} else {
+			info.memoMiss++
+		}
+		if res.BatchSize > info.batch {
+			info.batch, info.trigger = res.BatchSize, res.Trigger.String()
+		}
+		if res.Timing.Total > maxT.Total {
+			maxT = res.Timing
+		}
+	}
+	info.timing = timingOf(maxT)
+	return maxT
+}
+
 // OneVsAllResponse is the /onevsall reply.
 type OneVsAllResponse struct {
 	Target string     `json:"target"`
 	Index  int        `json:"index"`
 	Count  int        `json:"count"`
+	ReqID  string     `json:"req_id"`
 	Rows   []ScoreRow `json:"rows"`
 	// MaxTiming is the slowest item's breakdown — the request's critical
 	// path through the coalescer.
 	MaxTiming TimingBreakdown `json:"max_timing"`
+	// MemoHits/MemoMisses count this request's pairs by memo outcome.
+	MemoHits   int `json:"memo_hits"`
+	MemoMisses int `json:"memo_misses"`
+	// Workers lists the distinct batch workers that computed this
+	// request's pairs, ascending.
+	Workers []int `json:"workers"`
+}
+
+// distinctWorkers returns the sorted distinct worker indices across a
+// request's batcher results.
+func distinctWorkers(results []batcher.Result[pairOut]) []int {
+	seen := map[int]struct{}{}
+	var out []int
+	for _, res := range results {
+		if _, ok := seen[res.Worker]; !ok {
+			seen[res.Worker] = struct{}{}
+			out = append(out, res.Worker)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 func (s *Server) handleOneVsAll(w http.ResponseWriter, r *http.Request) {
+	info := infoFrom(r)
 	targetID := r.URL.Query().Get("target")
 	if targetID == "" {
-		s.fail(w, http.StatusBadRequest, errors.New("need target= structure id"))
+		s.fail(w, r, http.StatusBadRequest, errors.New("need target= structure id"))
 		return
 	}
-	ti, jobs, results, err := s.oneVsAll(targetID)
+	ti, jobs, results, err := s.oneVsAll(info.id, targetID)
 	if err != nil {
-		s.failErr(w, err)
+		s.failErr(w, r, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "text" {
+		recordItems(info, results)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for k, job := range jobs {
-			io.WriteString(w, ScoreLine(job.i, job.j, results[k].Value))
+			io.WriteString(w, ScoreLine(job.i, job.j, results[k].Value.res))
 		}
 		return
 	}
-	resp := OneVsAllResponse{Target: targetID, Index: ti, Count: len(jobs), Rows: make([]ScoreRow, len(jobs))}
-	var maxT batcher.Timing
+	resp := OneVsAllResponse{Target: targetID, Index: ti, Count: len(jobs), ReqID: info.id, Rows: make([]ScoreRow, len(jobs))}
 	for k, job := range jobs {
-		resp.Rows[k] = rowOf(job, results[k].Value)
-		if results[k].Timing.Total > maxT.Total {
-			maxT = results[k].Timing
-		}
+		resp.Rows[k] = rowOf(job, results[k].Value.res)
 	}
+	maxT := recordItems(info, results)
 	resp.MaxTiming = timingOf(maxT)
+	resp.MemoHits, resp.MemoMisses = info.memoHit, info.memoMiss
+	resp.Workers = distinctWorkers(results)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -488,28 +702,30 @@ type Neighbor struct {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	info := infoFrom(r)
 	q := r.URL.Query()
 	targetID := q.Get("target")
 	if targetID == "" {
-		s.fail(w, http.StatusBadRequest, errors.New("need target= structure id"))
+		s.fail(w, r, http.StatusBadRequest, errors.New("need target= structure id"))
 		return
 	}
 	k := 5
 	if ks := q.Get("k"); ks != "" {
 		var err error
 		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("k=%q is not a positive integer", ks))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("k=%q is not a positive integer", ks))
 			return
 		}
 	}
-	ti, jobs, results, err := s.oneVsAll(targetID)
+	ti, jobs, results, err := s.oneVsAll(info.id, targetID)
 	if err != nil {
-		s.failErr(w, err)
+		s.failErr(w, r, err)
 		return
 	}
+	maxT := recordItems(info, results)
 	neighbors := make([]Neighbor, len(jobs))
 	for i, job := range jobs {
-		res := results[i].Value
+		res := results[i].Value.res
 		// TM1 is normalised by the canonical-first chain's length. Report
 		// the score normalised by the *target* length (the retrieval
 		// convention), so pick TM1 when the target is canonical-first.
@@ -533,11 +749,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		k = len(neighbors)
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Target    string     `json:"target"`
-		Index     int        `json:"index"`
-		K         int        `json:"k"`
-		Neighbors []Neighbor `json:"neighbors"`
-	}{targetID, ti, k, neighbors[:k]})
+		Target     string          `json:"target"`
+		Index      int             `json:"index"`
+		K          int             `json:"k"`
+		ReqID      string          `json:"req_id"`
+		Neighbors  []Neighbor      `json:"neighbors"`
+		MaxTiming  TimingBreakdown `json:"max_timing"`
+		MemoHits   int             `json:"memo_hits"`
+		MemoMisses int             `json:"memo_misses"`
+	}{targetID, ti, k, info.id, neighbors[:k], timingOf(maxT), info.memoHit, info.memoMiss})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -549,15 +769,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // BatcherStatsz mirrors batcher.Stats with stable JSON keys.
+// QueueDepthPeak is the high-water mark of pending items over the
+// server's lifetime — the congestion signal a load sweep watches.
 type BatcherStatsz struct {
-	Enqueued     int64 `json:"enqueued"`
-	Completed    int64 `json:"completed"`
-	QueueDepth   int64 `json:"queue_depth"`
-	Batches      int64 `json:"batches"`
-	SizeFlushes  int64 `json:"size_flushes"`
-	TimerFlushes int64 `json:"timer_flushes"`
-	CloseFlushes int64 `json:"close_flushes"`
-	MaxBatch     int   `json:"max_batch"`
+	Enqueued       int64 `json:"enqueued"`
+	Completed      int64 `json:"completed"`
+	QueueDepth     int64 `json:"queue_depth"`
+	QueueDepthPeak int64 `json:"queue_depth_peak"`
+	Batches        int64 `json:"batches"`
+	SizeFlushes    int64 `json:"size_flushes"`
+	TimerFlushes   int64 `json:"timer_flushes"`
+	CloseFlushes   int64 `json:"close_flushes"`
+	MaxBatch       int   `json:"max_batch"`
 }
 
 // HistogramStatsz is a histogram rendered for /statsz.
@@ -597,7 +820,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Pairstore:  s.store.StatsSnapshot(),
 		Batcher: BatcherStatsz{
 			Enqueued: bs.Enqueued, Completed: bs.Completed, QueueDepth: bs.Pending,
-			Batches: bs.Batches, SizeFlushes: bs.SizeFlushes,
+			QueueDepthPeak: bs.PeakPending,
+			Batches:        bs.Batches, SizeFlushes: bs.SizeFlushes,
 			TimerFlushes: bs.TimerFlushes, CloseFlushes: bs.CloseFlushes,
 			MaxBatch: bs.MaxBatch,
 		},
