@@ -244,11 +244,13 @@ func BenchmarkCacheBatch(b *testing.B) {
 
 // BenchmarkChipScaling is the multi-chip scale-out curve: CK34 sharded
 // across 1, 2, 4 and 8 SCC chips at 47 slaves each over the default
-// board interconnect. Reported metrics are the 1- and 8-chip simulated
-// times, the 8-chip scaling efficiency (speedup over 1 chip divided by
-// 8), and the 8-chip interconnect volume and peak root-inbox depth —
-// the two signals that show the root master becoming the next
-// bottleneck. Feeds BENCH_pr6.json; run with -benchtime=1x.
+// board interconnect and gather tree. Reported metrics are the 1- and
+// 8-chip simulated times, the 8-chip scaling efficiency (speedup over
+// 1 chip divided by 8), and the 8-chip interconnect volume and peak
+// root-inbox depth — the inbox sat at 504 queued results before
+// sub-master aggregation (BENCH_pr6.json) and is single-digit with
+// blobs riding the gather tree. Feeds BENCH_pr9.json; run with
+// -benchtime=1x.
 func BenchmarkChipScaling(b *testing.B) {
 	env := loadEnv(b)
 	var t1, t8, eff8, interMB, inbox8 float64

@@ -39,13 +39,17 @@
 // -chips N shards the pair matrix across N simulated SCC chips joined
 // by a board-level interconnect: a root master on chip 0 scatters whole
 // tile blocks to per-chip sub-masters, each chip farms its shard on its
-// own mesh, and results stream back over the fabric. -chips 1 (the
-// default) is the classic single-chip run, byte-identical in reports
-// and -scores-out dumps. -interchip selects the interconnect cost
-// profile: a name (board, cluster, ideal) or "lat=2e-6,bw=1.6e9
-// [,recv=5e-7][,ports=1]" (unset keys inherit the board profile).
-// Fault plans, -affinity, -hierarchy and -membudget are single-chip
-// features and rejected at -chips > 1.
+// own mesh and aggregates its results locally, and the aggregate blobs
+// travel back up the -gather topology ("tree" — a fan-in tree of
+// configurable arity, "tree:2" — or "flat", every chip straight to the
+// root). -chips 1 (the default) is the classic single-chip run,
+// byte-identical in reports and -scores-out dumps; scores stay
+// byte-identical at every chip count and gather mode. -interchip
+// selects the interconnect cost profile: a name (board, cluster, ideal)
+// or "lat=2e-6,bw=1.6e9[,recv=5e-7][,ports=1]" (unset keys inherit the
+// board profile). -faults (global core ids, chip = id/48) and -affinity
+// work per chip; only -hierarchy and -membudget remain single-chip
+// features rejected at -chips > 1.
 package main
 
 import (
@@ -89,6 +93,7 @@ type cliFlags struct {
 	HostPar     int
 	Chips       int
 	Interchip   string
+	Gather      string
 	Affinity    bool
 	FaultSpec   string
 }
@@ -99,73 +104,76 @@ const maxChips = 64
 
 // validateFlags rejects out-of-range flag values with a one-line
 // diagnostic before the dataset is even loaded, resolving the job
-// ordering and the interchip profile. Values with documented sentinel
-// semantics (-structcache -1, -tile -1, -batch 0, -polling 0) stay
-// valid. Single-chip-only features (-faults, -affinity, -hierarchy,
-// -membudget) are rejected in combination with -chips > 1 here, so the
-// conflict costs one line instead of a loaded dataset.
-func validateFlags(f cliFlags) (sched.Order, interchip.Config, error) {
+// ordering, the interchip profile and the gather topology. Values with
+// documented sentinel semantics (-structcache -1, -tile -1, -batch 0,
+// -polling 0) stay valid. The remaining single-chip-only features
+// (-hierarchy, -membudget) are rejected in combination with -chips > 1
+// here, so the conflict costs one line instead of a loaded dataset.
+func validateFlags(f cliFlags) (sched.Order, interchip.Config, farm.GatherConfig, error) {
 	var icfg interchip.Config
+	var gcfg farm.GatherConfig
 	ord, ok := map[string]sched.Order{
 		"FIFO": sched.FIFO, "LPT": sched.LPT, "SPT": sched.SPT, "RANDOM": sched.Random,
 	}[strings.ToUpper(f.Order)]
 	if !ok {
-		return 0, icfg, fmt.Errorf("-order %q is not FIFO, LPT, SPT or Random", f.Order)
+		return 0, icfg, gcfg, fmt.Errorf("-order %q is not FIFO, LPT, SPT or Random", f.Order)
 	}
 	if !f.Sweep && (f.Slaves < 1 || f.Slaves > 47) {
-		return 0, icfg, fmt.Errorf("-slaves %d outside [1,47]", f.Slaves)
+		return 0, icfg, gcfg, fmt.Errorf("-slaves %d outside [1,47]", f.Slaves)
 	}
 	if f.Hierarchy < 0 {
-		return 0, icfg, fmt.Errorf("-hierarchy %d is negative", f.Hierarchy)
+		return 0, icfg, gcfg, fmt.Errorf("-hierarchy %d is negative", f.Hierarchy)
 	}
 	if f.Threads < 1 {
-		return 0, icfg, fmt.Errorf("-threads %d below 1", f.Threads)
+		return 0, icfg, gcfg, fmt.Errorf("-threads %d below 1", f.Threads)
 	}
 	if f.MemBudget < 0 {
-		return 0, icfg, fmt.Errorf("-membudget %d is negative", f.MemBudget)
+		return 0, icfg, gcfg, fmt.Errorf("-membudget %d is negative", f.MemBudget)
 	}
 	if f.Deadline < 0 {
-		return 0, icfg, fmt.Errorf("-deadline %g is negative", f.Deadline)
+		return 0, icfg, gcfg, fmt.Errorf("-deadline %g is negative", f.Deadline)
 	}
 	if f.Polling < 0 {
-		return 0, icfg, fmt.Errorf("-polling %g is negative", f.Polling)
+		return 0, icfg, gcfg, fmt.Errorf("-polling %g is negative", f.Polling)
 	}
 	if f.StructCache < -1 {
-		return 0, icfg, fmt.Errorf("-structcache %d below -1 (-1 = derive, 0 = off)", f.StructCache)
+		return 0, icfg, gcfg, fmt.Errorf("-structcache %d below -1 (-1 = derive, 0 = off)", f.StructCache)
 	}
 	if f.Batch < 0 {
-		return 0, icfg, fmt.Errorf("-batch %d is negative (0 or 1 = one message per job)", f.Batch)
+		return 0, icfg, gcfg, fmt.Errorf("-batch %d is negative (0 or 1 = one message per job)", f.Batch)
 	}
 	if f.Tile < -1 {
-		return 0, icfg, fmt.Errorf("-tile %d below -1 (-1 = force off, 0 = auto)", f.Tile)
+		return 0, icfg, gcfg, fmt.Errorf("-tile %d below -1 (-1 = force off, 0 = auto)", f.Tile)
 	}
 	if f.HostPar < 0 {
-		return 0, icfg, fmt.Errorf("-hostpar %d is negative (0 = serial host evaluation)", f.HostPar)
+		return 0, icfg, gcfg, fmt.Errorf("-hostpar %d is negative (0 = serial host evaluation)", f.HostPar)
 	}
 	if f.Chips < 1 || f.Chips > maxChips {
-		return 0, icfg, fmt.Errorf("-chips %d outside [1,%d]", f.Chips, maxChips)
+		return 0, icfg, gcfg, fmt.Errorf("-chips %d outside [1,%d]", f.Chips, maxChips)
 	}
 	if f.Interchip == "" {
 		icfg = interchip.DefaultConfig()
 	} else {
 		var err error
 		if icfg, err = interchip.ParseSpec(f.Interchip); err != nil {
-			return 0, icfg, fmt.Errorf("-interchip %q: %v", f.Interchip, err)
+			return 0, icfg, gcfg, fmt.Errorf("-interchip %q: %v", f.Interchip, err)
 		}
+	}
+	var err error
+	if gcfg, err = farm.ParseGatherSpec(f.Gather); err != nil {
+		return 0, icfg, gcfg, fmt.Errorf("-gather %q: %v", f.Gather, err)
 	}
 	if f.Chips > 1 {
 		switch {
-		case f.FaultSpec != "":
-			return 0, icfg, fmt.Errorf("-chips %d with -faults is unsupported (fault plans are single-chip)", f.Chips)
-		case f.Affinity:
-			return 0, icfg, fmt.Errorf("-chips %d with -affinity is unsupported (affinity queues are single-chip)", f.Chips)
 		case f.Hierarchy > 0:
-			return 0, icfg, fmt.Errorf("-chips %d with -hierarchy is unsupported (the chips are the hierarchy)", f.Chips)
+			return 0, icfg, gcfg, fmt.Errorf("-chips %d with -hierarchy is unsupported (the chips are the hierarchy)", f.Chips)
 		case f.MemBudget > 0:
-			return 0, icfg, fmt.Errorf("-chips %d with -membudget is unsupported (tiled runs are single-chip)", f.Chips)
+			return 0, icfg, gcfg, fmt.Errorf("-chips %d with -membudget is unsupported (tiled runs are single-chip)", f.Chips)
+		case f.Affinity && f.FaultSpec != "":
+			return 0, icfg, gcfg, fmt.Errorf("-chips %d with -affinity and -faults is unsupported (dynamic farms have no fault-tolerant variant)", f.Chips)
 		}
 	}
-	return ord, icfg, nil
+	return ord, icfg, gcfg, nil
 }
 
 func main() {
@@ -194,14 +202,15 @@ func main() {
 	hostpar := flag.Int("hostpar", runtime.GOMAXPROCS(0), "host worker goroutines for native pair evaluation on a cache miss (0 = serial; simulated results are identical either way)")
 	chips := flag.Int("chips", 1, "shard the pair matrix across this many SCC chips (1 = the classic single-chip run, byte-identical reports and scores)")
 	interchipSpec := flag.String("interchip", "", "inter-chip interconnect profile: board, cluster, ideal, or \"lat=S,bw=B[,recv=S][,ports=N]\" (empty = board; only meaningful with -chips > 1)")
+	gatherSpec := flag.String("gather", "", "multi-chip result gather topology: tree, tree:ARITY, or flat (empty = tree of arity 4; only meaningful with -chips > 1)")
 	flag.Parse()
 
-	ord, icfg, err := validateFlags(cliFlags{
+	ord, icfg, gcfg, err := validateFlags(cliFlags{
 		Slaves: *slaves, Sweep: *sweep, Order: *order, Hierarchy: *hierarchy,
 		Threads: *threads, MemBudget: *memBudget, Deadline: *deadline,
 		Polling: *polling, StructCache: *structCache, Batch: *batch,
 		Tile: *tile, HostPar: *hostpar, Chips: *chips, Interchip: *interchipSpec,
-		Affinity: *affinity, FaultSpec: *faultSpec,
+		Gather: *gatherSpec, Affinity: *affinity, FaultSpec: *faultSpec,
 	})
 	if err != nil {
 		usageFatal(err)
@@ -288,7 +297,7 @@ func main() {
 		var rep farm.Report
 		if *chips > 1 {
 			r, err := core.RunMultiChip(pr, n, core.MultiChipConfig{
-				Config: cfg, Chips: *chips, Interchip: icfg,
+				Config: cfg, Chips: *chips, Interchip: icfg, Gather: gcfg,
 			})
 			if err != nil {
 				fatal(err)
@@ -334,11 +343,18 @@ func main() {
 		}
 		if ic := rep.Interchip; ic != nil {
 			fmt.Fprintf(os.Stderr,
-				"interchip (%d chips x %d slaves, %s): transfers=%d total %.2f MB (shards %.2f MB, results %.2f MB); "+
+				"interchip (%d chips x %d slaves, %s): transfers=%d total %.2f MB (shards %.2f MB, results %.2f MB vs %.2f MB per-pair); "+
 					"send-wait %.3f s; peak root inbox=%d; intra-chip %.2f MB\n",
 				rep.Chips, n, ic.Profile, ic.Transfers, float64(ic.Bytes)/1e6,
-				float64(ic.ShardBytes)/1e6, float64(ic.ResultBytes)/1e6,
+				float64(ic.ShardBytes)/1e6, float64(ic.ResultBytes)/1e6, float64(ic.PerPairResultBytes)/1e6,
 				ic.SendWaitSeconds, ic.PeakRootInbox, float64(ic.IntraChipBytes)/1e6)
+			fmt.Fprintf(os.Stderr,
+				"gather (%s arity=%d depth=%d): root fan-in=%d flows=%d; %d aggregate blobs\n",
+				ic.GatherMode, ic.GatherArity, ic.GatherDepth, ic.RootFanIn, ic.RootFlows, ic.AggMessages)
+			for _, gl := range ic.GatherLevels {
+				fmt.Fprintf(os.Stderr, "  level %d: %d blobs, mean hop %.2e s, max %.2e s\n",
+					gl.Level, gl.Blobs, gl.MeanLatencySeconds, gl.MaxLatencySeconds)
+			}
 			for _, cr := range rep.PerChip {
 				fmt.Fprintf(os.Stderr, "  chip %d (%s): jobs=%d mean-util=%.1f%% peak-mbox=%.0f shard %.2f MB results %.2f MB\n",
 					cr.Chip, cr.Master, cr.Collected, 100*cr.MeanUtilization,

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"rckalign/internal/farm"
 	"rckalign/internal/interchip"
 	"rckalign/internal/sched"
 )
@@ -47,17 +48,27 @@ func TestValidateFlags(t *testing.T) {
 		{"interchip key-value spec", func(f *cliFlags) { f.Chips = 2; f.Interchip = "lat=1e-6,bw=2e9" }, ""},
 		{"interchip unknown profile", func(f *cliFlags) { f.Interchip = "warp" }, "-interchip"},
 		{"interchip bad value", func(f *cliFlags) { f.Interchip = "bw=fast" }, "-interchip"},
-		{"chips with faults", func(f *cliFlags) { f.Chips = 2; f.FaultSpec = "kill=3@10" }, "-faults"},
-		{"chips with affinity", func(f *cliFlags) { f.Chips = 2; f.Affinity = true }, "-affinity"},
+		{"chips with faults", func(f *cliFlags) { f.Chips = 2; f.FaultSpec = "kill=3@10" }, ""},
+		{"chips with affinity", func(f *cliFlags) { f.Chips = 2; f.Affinity = true }, ""},
+		{"chips with affinity and faults", func(f *cliFlags) {
+			f.Chips = 2
+			f.Affinity = true
+			f.FaultSpec = "kill=3@10"
+		}, "-affinity"},
 		{"chips with hierarchy", func(f *cliFlags) { f.Chips = 2; f.Hierarchy = 4 }, "-hierarchy"},
 		{"chips with membudget", func(f *cliFlags) { f.Chips = 2; f.MemBudget = 5000 }, "-membudget"},
 		{"single chip keeps faults", func(f *cliFlags) { f.Chips = 1; f.FaultSpec = "kill=3@10" }, ""},
+		{"gather tree", func(f *cliFlags) { f.Chips = 8; f.Gather = "tree" }, ""},
+		{"gather tree with arity", func(f *cliFlags) { f.Chips = 8; f.Gather = "tree:2" }, ""},
+		{"gather flat", func(f *cliFlags) { f.Chips = 8; f.Gather = "flat" }, ""},
+		{"gather unknown", func(f *cliFlags) { f.Gather = "ring" }, "-gather"},
+		{"gather bad arity", func(f *cliFlags) { f.Gather = "tree:0" }, "-gather"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			f := valid()
 			tc.mut(&f)
-			_, _, err := validateFlags(f)
+			_, _, _, err := validateFlags(f)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("validateFlags(%+v) = %v, want ok", f, err)
@@ -79,15 +90,34 @@ func TestValidateFlags(t *testing.T) {
 
 func TestValidateFlagsResolvesInterchip(t *testing.T) {
 	f := valid()
-	_, got, err := validateFlags(f)
+	_, got, _, err := validateFlags(f)
 	if err != nil || got != interchip.DefaultConfig() {
 		t.Errorf("empty -interchip resolved to %+v (err %v), want the board profile", got, err)
 	}
 	f.Interchip = "cluster"
-	_, got, err = validateFlags(f)
+	_, got, _, err = validateFlags(f)
 	cluster, _ := interchip.Profile("cluster")
 	if err != nil || got != cluster {
 		t.Errorf("-interchip cluster resolved to %+v (err %v), want %+v", got, err, cluster)
+	}
+}
+
+func TestValidateFlagsResolvesGather(t *testing.T) {
+	f := valid()
+	_, _, gcfg, err := validateFlags(f)
+	want := farm.GatherConfig{Mode: farm.GatherTree, Arity: farm.DefaultGatherArity}
+	if err != nil || gcfg != want {
+		t.Errorf("empty -gather resolved to %+v (err %v), want %+v", gcfg, err, want)
+	}
+	f.Gather = "tree:2"
+	_, _, gcfg, err = validateFlags(f)
+	if err != nil || gcfg.Mode != farm.GatherTree || gcfg.Arity != 2 {
+		t.Errorf("-gather tree:2 resolved to %+v (err %v)", gcfg, err)
+	}
+	f.Gather = "flat"
+	_, _, gcfg, err = validateFlags(f)
+	if err != nil || gcfg.Mode != farm.GatherFlat {
+		t.Errorf("-gather flat resolved to %+v (err %v)", gcfg, err)
 	}
 }
 
@@ -98,7 +128,7 @@ func TestValidateFlagsResolvesOrder(t *testing.T) {
 	} {
 		f := valid()
 		f.Order = in
-		got, _, err := validateFlags(f)
+		got, _, _, err := validateFlags(f)
 		if err != nil {
 			t.Errorf("order %q rejected: %v", in, err)
 			continue

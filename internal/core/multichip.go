@@ -31,6 +31,9 @@ type MultiChipConfig struct {
 	// Interchip is the board-level interconnect cost profile (zero value
 	// = interchip.DefaultConfig, the board profile).
 	Interchip interchip.Config
+	// Gather selects the result-aggregation topology across chips (zero
+	// value = a gather tree of farm.DefaultGatherArity).
+	Gather farm.GatherConfig
 	// ShardTile is the block granularity, in structures, for sharding
 	// the pair grid across chips: whole Tile x Tile blocks move
 	// together so each structure lands on few chips. 0 derives it from
@@ -78,21 +81,21 @@ func shardWireBytes(shard []sched.Pair, lengths []int) int64 {
 // tile blocks across chips (heaviest block first onto the least loaded
 // chip), and farmed hierarchically: root master on chip 0 scatters the
 // shards over the interchip fabric, each chip's sub-master farms its
-// shard on its own mesh, results stream back to the root. Fault plans,
-// affinity farming and the on-chip master hierarchy are single-chip
-// features and rejected at Chips > 1.
+// shard on its own mesh, and results return as aggregate blobs up the
+// configured gather topology. Fault plans (core ids global across the
+// board) run FARMFT per chip; affinity farming deals each shard onto
+// that chip's workers. Only the on-chip master hierarchy stays a
+// single-chip feature (the chips are the hierarchy), and — as on the
+// flat path — affinity and faults are mutually exclusive.
 func RunMultiChip(pr *PairResults, slavesPerChip int, cfg MultiChipConfig) (RunResult, error) {
 	if cfg.Chips <= 1 {
 		return Run(pr, slavesPerChip, cfg.Config)
 	}
-	if cfg.Faults != nil {
-		return RunResult{}, fmt.Errorf("core: multi-chip run: %w", farm.ErrFaultsUnsupported)
-	}
-	if cfg.Affinity {
-		return RunResult{}, fmt.Errorf("core: multi-chip run does not support affinity farming")
-	}
 	if cfg.Hierarchy > 0 {
 		return RunResult{}, fmt.Errorf("core: multi-chip run does not support the on-chip master hierarchy (chips are the hierarchy)")
+	}
+	if cfg.Affinity && cfg.Faults != nil {
+		return RunResult{}, fmt.Errorf("core: affinity farming: %w", farm.ErrFaultsUnsupported)
 	}
 
 	lengths := pr.lengths()
@@ -118,11 +121,24 @@ func RunMultiChip(pr *PairResults, slavesPerChip int, cfg MultiChipConfig) (RunR
 		Collector:        cfg.Collector,
 		Batch:            cfg.Batch,
 		CacheStructs:     cacheCap,
+		Gather:           cfg.Gather,
+		Faults:           cfg.Faults,
+		FT:               cfg.FT,
+		Dynamic:          cfg.Affinity,
 	})
 	if err != nil {
 		return RunResult{}, err
 	}
 	opScale := ms.ChipSession(0).Placement().OpScale
+	if cfg.Faults != nil && cfg.FT.JobDeadlineSeconds == 0 {
+		d := DeriveJobDeadline(pr, cfg.Chip.CPU, opScale)
+		if cfg.Batch > 1 {
+			// A batch is one fault-tolerance unit of up to Batch jobs:
+			// its deadline must cover them back to back.
+			d *= float64(cfg.Batch)
+		}
+		ms.SetJobDeadline(d)
+	}
 	handler := func(job rckskel.Job) (any, costmodel.Counter, int) {
 		p := job.Payload.(sched.Pair)
 		res := pr.Get(p)
@@ -145,8 +161,43 @@ func RunMultiChip(pr *PairResults, slavesPerChip int, cfg MultiChipConfig) (RunR
 		},
 		Sizes: sizes,
 	}
-	queues := make([][]rckskel.Job, cfg.Chips)
 	shardBytes := make([]int64, cfg.Chips)
+	for c, shard := range shards {
+		if len(shard) > 0 {
+			shardBytes[c] = shardWireBytes(shard, lengths)
+		}
+	}
+
+	load := pr.Dataset.TotalResidues()
+	if cfg.Affinity {
+		// Deal each shard onto its own chip's workers, exactly as the
+		// flat affinity path deals the whole pair list; job IDs stay
+		// globally unique across chips and queues.
+		queues := make([][][]rckskel.Job, cfg.Chips)
+		idBase := 0
+		for c, shard := range shards {
+			if len(shard) == 0 {
+				continue
+			}
+			sess := ms.ChipSession(c)
+			workers := len(sess.Placement().WorkerLeads)
+			assign := sched.AffinityAssign(shard, workers, tile, sched.LengthProductCost(lengths))
+			qs := make([][]rckskel.Job, len(assign))
+			for w, ps := range assign {
+				jobs, err := farm.BuildJobs(ps, idBase, pairBytes(lengths))
+				if err != nil {
+					return RunResult{}, err
+				}
+				idBase += len(ps)
+				qs[w] = sess.PrepareJobs(jobs, wm)
+			}
+			queues[c] = qs
+		}
+		rep, err := ms.RunAffinity(load, queues, shardBytes)
+		return RunResult{Report: rep}, err
+	}
+
+	queues := make([][]rckskel.Job, cfg.Chips)
 	idBase := 0
 	for c, shard := range shards {
 		if len(shard) == 0 {
@@ -158,10 +209,9 @@ func RunMultiChip(pr *PairResults, slavesPerChip int, cfg MultiChipConfig) (RunR
 		}
 		idBase += len(shard)
 		queues[c] = ms.ChipSession(c).PrepareJobs(jobs, wm)
-		shardBytes[c] = shardWireBytes(shard, lengths)
 	}
 
-	rep, err := ms.Run(pr.Dataset.TotalResidues(), queues, shardBytes)
+	rep, err := ms.Run(load, queues, shardBytes)
 	return RunResult{Report: rep}, err
 }
 

@@ -126,8 +126,18 @@ func TestMultiChipCompletesAllPairs(t *testing.T) {
 		if ic.ShardBytes == 0 || ic.ResultBytes == 0 {
 			t.Errorf("chips=%d: shard/result byte split = %d/%d", chips, ic.ShardBytes, ic.ResultBytes)
 		}
-		if ic.PeakRootInbox < 1 {
-			t.Errorf("chips=%d: peak root inbox = %d", chips, ic.PeakRootInbox)
+		// Aggregation keeps the root inbox shallow: at most one blob and
+		// one done marker per chip can ever be queued at once, where the
+		// per-pair protocol queued one message per remote pair.
+		if ic.PeakRootInbox > 2*chips {
+			t.Errorf("chips=%d: peak root inbox = %d, want <= %d", chips, ic.PeakRootInbox, 2*chips)
+		}
+		if ic.RootFlows < 1 {
+			t.Errorf("chips=%d: root flows = %d", chips, ic.RootFlows)
+		}
+		if ic.ResultBytes >= ic.PerPairResultBytes {
+			t.Errorf("chips=%d: aggregated result bytes %d not below per-pair %d",
+				chips, ic.ResultBytes, ic.PerPairResultBytes)
 		}
 	}
 }
@@ -180,10 +190,69 @@ func TestMultiChipRejections(t *testing.T) {
 			t.Errorf("%s: expected a rejection at chips > 1", name)
 		}
 	}
-	reject("faults", func(cfg *MultiChipConfig) { cfg.Faults = &fault.Plan{} })
-	reject("affinity", func(cfg *MultiChipConfig) { cfg.Affinity = true })
 	reject("hierarchy", func(cfg *MultiChipConfig) { cfg.Hierarchy = 4 })
 	reject("slaves", func(cfg *MultiChipConfig) { cfg.Config.Chip.TilesX = 1; cfg.Config.Chip.TilesY = 2 })
+	// Affinity and faults stay mutually exclusive (FarmDynamic has no
+	// fault-tolerant variant), and a plan must not kill any chip's
+	// master (every chip's local core 0).
+	reject("affinity+faults", func(cfg *MultiChipConfig) {
+		cfg.Affinity = true
+		cfg.Faults = &fault.Plan{}
+	})
+	reject("kill sub-master", func(cfg *MultiChipConfig) {
+		cfg.Faults = &fault.Plan{Kills: []fault.CoreFailure{{Core: 48, At: 1}}}
+	})
+}
+
+// TestMultiChipFaults: a fault plan with global core ids runs FARMFT
+// per chip — kills on two different chips are recovered, every pair
+// still completes exactly once, and the merged fault block reports
+// global ids.
+func TestMultiChipFaults(t *testing.T) {
+	pr := synthCK34PR()
+	base, seen := multiChipCK34(t, pr, 2, 12, nil)
+	checkEveryPairOnce(t, pr, seen)
+	at := 0.2 * base.TotalSeconds
+	r, seen := multiChipCK34(t, pr, 2, 12, func(cfg *MultiChipConfig) {
+		cfg.Faults = &fault.Plan{
+			Seed: 11,
+			// Core 5 lives on chip 0, core 48+7 on chip 1.
+			Kills: []fault.CoreFailure{{Core: 5, At: at}, {Core: 55, At: at}},
+		}
+	})
+	checkEveryPairOnce(t, pr, seen)
+	fs := r.Faults
+	if fs == nil {
+		t.Fatal("fault-tolerant multi-chip run has no fault block")
+	}
+	if fs.Injected.CoresKilled != 2 || !reflect.DeepEqual(fs.DeadCores, []int{5, 55}) {
+		t.Errorf("killed %d cores, dead = %v, want 2 and [5 55]", fs.Injected.CoresKilled, fs.DeadCores)
+	}
+	if len(r.PerChip) != 2 || r.PerChip[0].Faults == nil || r.PerChip[1].Faults == nil {
+		t.Fatalf("per-chip fault blocks missing: %+v", r.PerChip)
+	}
+	if got := r.PerChip[1].Faults.DeadCores; !reflect.DeepEqual(got, []int{7}) {
+		t.Errorf("chip 1 local dead cores = %v, want [7]", got)
+	}
+}
+
+// TestMultiChipAffinity: the cache-affinity deal runs per chip and
+// still completes every pair exactly once.
+func TestMultiChipAffinity(t *testing.T) {
+	pr := synthCK34PR()
+	r, seen := multiChipCK34(t, pr, 2, 12, func(cfg *MultiChipConfig) {
+		cfg.Affinity = true
+		cfg.CacheStructs = 8
+	})
+	checkEveryPairOnce(t, pr, seen)
+	if r.Wire == nil || r.Wire.CacheHits == 0 {
+		t.Fatalf("affinity multi-chip run has no cache accounting: %+v", r.Wire)
+	}
+	for _, cr := range r.PerChip {
+		if cr.Collected == 0 {
+			t.Errorf("chip %d collected nothing under affinity", cr.Chip)
+		}
+	}
 }
 
 func TestRunChipSweep(t *testing.T) {

@@ -238,11 +238,14 @@ type ChipReport struct {
 	// Wire is the chip-local cache/batch wire accounting (nil when the
 	// wire model is off).
 	Wire *WireReport
+	// Faults is the chip-local fault summary (core ids chip-local; nil
+	// on fault-free runs). Report.Faults merges them with global ids.
+	Faults *FaultStats
 	// ShardBytes is what crossing the fabric to hand this chip its
 	// shard cost (0 for chip 0, whose shard never leaves the root).
 	ShardBytes int64
-	// ResultBytes is the result traffic this chip returned over the
-	// fabric (0 for chip 0).
+	// ResultBytes is the aggregate-blob bytes this chip originated onto
+	// the fabric (0 for chip 0, whose results never leave the root).
 	ResultBytes int64
 }
 
@@ -256,19 +259,55 @@ type InterchipReport struct {
 	Transfers int64
 	Bytes     int64
 	// ShardBytes and ResultBytes split Bytes into the outbound shard
-	// descriptors and the returned results (the remainder is control).
+	// descriptors and the aggregate result blobs travelling up the
+	// gather topology, relay hops included (the remainder is control).
 	ShardBytes  int64
 	ResultBytes int64
+	// PerPairResultBytes is the counterfactual wire volume had every
+	// result been forwarded individually (the pre-aggregation
+	// protocol): per-pair result bytes plus one
+	// InterchipResultHeaderBytes frame each. Comparing it with
+	// ResultBytes shows what sub-master aggregation saved.
+	PerPairResultBytes int64
 	// SendWaitSeconds is total sender time lost to port contention.
 	SendWaitSeconds float64
 	// PeakRootInbox is the deepest the root chip's inbox got — the
 	// direct signal for when the single root master saturates.
 	PeakRootInbox int
+	// RootFlows counts every fabric message that landed in the root's
+	// inbox (blobs + gather-done markers): O(arity·log N) under a
+	// gather tree where the per-pair protocol funnelled O(pairs).
+	RootFlows int64
+	// GatherMode/GatherArity/GatherDepth/RootFanIn describe the
+	// result-aggregation topology: mode ("tree" or "flat"), tree
+	// fan-in, deepest tree level, and the number of chips reporting
+	// directly to the root.
+	GatherMode  string
+	GatherArity int
+	GatherDepth int
+	RootFanIn   int
+	// AggMessages counts aggregate blobs put on the fabric, relay hops
+	// included.
+	AggMessages int64
+	// GatherLevels summarises blob-hop latency per tree level (level 1
+	// = hops into the root), deepest senders last.
+	GatherLevels []GatherLevel
 	// IntraChipBytes sums the on-chip RCCE wire volume across all chips
 	// (only available when the run had a metrics registry; 0 otherwise).
 	// Comparing it with Bytes gives the inter- vs intra-chip traffic
 	// split.
 	IntraChipBytes int64
+}
+
+// GatherLevel is one tree level's blob-hop latency summary: a level-L
+// hop carries a blob from a depth-L chip to its depth-(L-1) parent,
+// measured from send entry to receiver drain (port contention and
+// receiver inbox queueing included).
+type GatherLevel struct {
+	Level              int
+	Blobs              int64
+	MeanLatencySeconds float64
+	MaxLatencySeconds  float64
 }
 
 // MetricsReport is the Report block distilled from the metrics registry:

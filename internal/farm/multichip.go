@@ -2,14 +2,16 @@
 // interchip fabric, farmed hierarchically — a root master on chip 0
 // core 0 ships each remote chip its shard of the job list over the
 // fabric, that chip's sub-master (its core 0) FARMs the shard to its
-// own slaves over its own mesh, and every result streams back to the
-// root over the fabric. Chip 0's shard is farmed by the root itself, so
-// a multi-chip system degenerates gracefully: the root does exactly the
+// own slaves over its own mesh, and the shard's results travel back as
+// aggregate blobs up the gather topology (see gather.go) instead of one
+// message per pair. Chip 0's shard is farmed by the root itself, so a
+// multi-chip system degenerates gracefully: the root does exactly the
 // paper's single-master job on its own chip, plus the scatter/gather at
 // the board tier. Each chip is a full Session (placement, team, wire
-// model, metrics scoped "chip"/"cN"), all sharing one engine and trace
-// recorder; MultiSession owns construction, the master bodies, and the
-// combined Report with per-chip and interconnect breakdowns.
+// model, metrics scoped "chip"/"cN", optionally its own fault injector),
+// all sharing one engine and trace recorder; MultiSession owns
+// construction, the master bodies, and the combined Report with
+// per-chip and interconnect breakdowns.
 package farm
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rckalign/internal/fault"
 	"rckalign/internal/interchip"
 	"rckalign/internal/metrics"
 	"rckalign/internal/rcce"
@@ -36,11 +39,13 @@ var ErrChipCount = errors.New("farm: multi-chip session needs at least 2 chips")
 const (
 	// ShardHeaderBytes frames one shard descriptor (job table, counts).
 	ShardHeaderBytes = 64
-	// InterchipResultHeaderBytes frames each result forwarded to the
-	// root on top of its on-chip result bytes.
+	// InterchipResultHeaderBytes frames one result were it forwarded to
+	// the root individually — the pre-aggregation protocol. It prices
+	// the per-pair counterfactual (InterchipReport.PerPairResultBytes)
+	// that aggregate blobs are compared against.
 	InterchipResultHeaderBytes = 16
 	// InterchipControlBytes is the size of a control message
-	// (shard-done).
+	// (gather-done).
 	InterchipControlBytes = 64
 )
 
@@ -92,9 +97,7 @@ func (b MultiChip) NewRuntime() Runtime {
 	}
 }
 
-// MultiConfig describes one multi-chip farm session. Fault plans are
-// not supported at the board tier (core ids in a plan are ambiguous
-// across chips); single-chip fault-tolerant runs take the flat path.
+// MultiConfig describes one multi-chip farm session.
 type MultiConfig struct {
 	// Backend is the chip topology (Chips >= 2).
 	Backend MultiChip
@@ -116,27 +119,70 @@ type MultiConfig struct {
 	// splits naturally per interconnect tier.
 	Batch        int
 	CacheStructs int
+	// Gather selects the result-aggregation topology (zero value = a
+	// gather tree of DefaultGatherArity, one blob per shard).
+	Gather GatherConfig
+	// Faults, when non-nil, runs every chip session fault-tolerantly:
+	// the plan's core ids are global across the board (chip = id /
+	// coresPerChip) and are split per chip with fault.SplitPlan, so
+	// FARMFT runs on each shard with that chip's slice of the plan.
+	// Every chip — faulted or not — runs the fault-tolerant protocol,
+	// keeping the shards' dispatch machinery uniform.
+	Faults *fault.Plan
+	// FT tunes the fault-tolerant farm on every chip (ignored when
+	// Faults is nil).
+	FT rckskel.FTConfig
+	// Dynamic declares that shards will be farmed through RunAffinity
+	// (per-worker pull queues); Dynamic and Faults together are
+	// rejected at construction, exactly as on the flat path.
+	Dynamic bool
+}
+
+// shardWork is one chip's prepared workload: either a single job queue
+// (classic FARM) or per-worker queues (affinity / FarmDynamic). An
+// empty shardWork farms nothing.
+type shardWork struct {
+	jobs   []rckskel.Job
+	queues [][]rckskel.Job
 }
 
 // MultiSession is a constructed multi-chip farm: one chip-level Session
 // per chip on a shared runtime. Start slaves per chip, prepare each
 // chip's job queue through its session (ChipSession(c).PrepareJobs),
-// then call Run.
+// then call Run (or RunAffinity).
 type MultiSession struct {
 	cfg      MultiConfig
+	gather   GatherConfig
 	rt       Runtime
 	rec      *trace.Recorder
 	sessions []*Session
 
-	shardBytes  []int64
-	resultBytes []int64
+	shardBytes   []int64
+	resultBytes  []int64
+	perPairBytes []int64
+	aggWireBytes int64
+	aggMessages  int64
+	gatherLat    map[int][]float64
+	runErr       error
 }
 
 // NewMultiSession validates the configuration and builds the runtime
-// and per-chip sessions.
+// and per-chip sessions (each with its slice of the fault plan, when
+// one is configured).
 func NewMultiSession(cfg MultiConfig) (*MultiSession, error) {
 	if cfg.Backend.Chips < 2 {
 		return nil, fmt.Errorf("%w (got %d)", ErrChipCount, cfg.Backend.Chips)
+	}
+	gather, err := cfg.Gather.resolved()
+	if err != nil {
+		return nil, err
+	}
+	var plans []*fault.Plan
+	if cfg.Faults != nil {
+		plans, err = fault.SplitPlan(cfg.Faults, cfg.Backend.Chips, cfg.Backend.Chip.NumCores())
+		if err != nil {
+			return nil, fmt.Errorf("farm: %w: %v", ErrFaultPlan, err)
+		}
 	}
 	rec := cfg.Trace
 	if rec == nil {
@@ -147,9 +193,11 @@ func NewMultiSession(cfg MultiConfig) (*MultiSession, error) {
 		rt.Fabric.SetMetrics(cfg.Metrics)
 	}
 	ms := &MultiSession{
-		cfg: cfg, rt: rt, rec: rec,
-		shardBytes:  make([]int64, cfg.Backend.Chips),
-		resultBytes: make([]int64, cfg.Backend.Chips),
+		cfg: cfg, gather: gather, rt: rt, rec: rec,
+		shardBytes:   make([]int64, cfg.Backend.Chips),
+		resultBytes:  make([]int64, cfg.Backend.Chips),
+		perPairBytes: make([]int64, cfg.Backend.Chips),
+		gatherLat:    map[int][]float64{},
 	}
 	for c := 0; c < cfg.Backend.Chips; c++ {
 		scfg := Config{
@@ -164,6 +212,11 @@ func NewMultiSession(cfg MultiConfig) (*MultiSession, error) {
 			Collector:        cfg.Collector,
 			Batch:            cfg.Batch,
 			CacheStructs:     cfg.CacheStructs,
+			Dynamic:          cfg.Dynamic,
+			FT:               cfg.FT,
+		}
+		if plans != nil {
+			scfg.Faults = plans[c]
 		}
 		chipRT := Runtime{
 			Engine: rt.Engine,
@@ -182,6 +235,9 @@ func NewMultiSession(cfg MultiConfig) (*MultiSession, error) {
 // Chips returns the chip count.
 func (ms *MultiSession) Chips() int { return ms.cfg.Backend.Chips }
 
+// Gather returns the resolved gather topology.
+func (ms *MultiSession) Gather() GatherConfig { return ms.gather }
+
 // Runtime returns the shared runtime (engine, chips, fabric).
 func (ms *MultiSession) Runtime() Runtime { return ms.rt }
 
@@ -189,26 +245,137 @@ func (ms *MultiSession) Runtime() Runtime { return ms.rt }
 // inspection and custom slave start).
 func (ms *MultiSession) ChipSession(c int) *Session { return ms.sessions[c] }
 
-// StartSlaves spawns every chip's slave loops with the same handler.
+// SetJobDeadline installs the fault-tolerant job deadline on every chip
+// session (multi-chip analogue of Session.SetJobDeadline).
+func (ms *MultiSession) SetJobDeadline(seconds float64) {
+	for _, s := range ms.sessions {
+		s.SetJobDeadline(seconds)
+	}
+}
+
+// StartSlaves spawns every chip's slave loops with the same handler
+// (the fault-tolerant variant on every chip when a fault plan is
+// configured).
 func (ms *MultiSession) StartSlaves(h rckskel.Handler) {
 	for _, s := range ms.sessions {
 		s.StartSlaves(h)
 	}
 }
 
-// shardMsg hands a chip its job queue; the modelled fabric bytes are
-// the shard descriptor plus the structure payloads (computed by the
-// caller, who owns the wire model).
-type shardMsg struct{ jobs []rckskel.Job }
+// shardMsg hands a chip its workload; the modelled fabric bytes are the
+// shard descriptor plus the structure payloads (computed by the caller,
+// who owns the wire model). Exactly one of jobs/queues is set (queues
+// for affinity farming).
+type shardMsg struct {
+	jobs   []rckskel.Job
+	queues [][]rckskel.Job
+}
 
-// resultMsg is a forwarded result: pure transport accounting — the
-// result's bookkeeping (count, Collector) already happened at the
-// sub-master that collected it.
-type resultMsg struct{}
+// aggMsg is one aggregate result blob travelling up the gather
+// topology: origin chip, summarised result count and their payload
+// bytes. Blobs relay through interior tree chips unmerged, so the state
+// reaching the root is independent of the arrival order at any level.
+type aggMsg struct {
+	origin  int
+	results int
+	payload int64
+}
 
-// shardDone signals a chip finished its shard (stats travel in the
-// chip session's report, host-side).
-type shardDone struct{ chip int }
+// gatherDone signals that a chip and its whole gather subtree finished
+// (stats travel in the chip sessions' reports, host-side).
+type gatherDone struct{ chip int }
+
+// aggregator accumulates one chip's shard results and flushes them to
+// the chip's gather parent as aggregate blobs: one blob per shard by
+// default, or every ChunkResults results when streaming chunks are
+// configured. It also prices the per-pair counterfactual so reports can
+// show what aggregation saved.
+type aggregator struct {
+	ms           *MultiSession
+	m            *Master
+	chip, parent int
+	count        int
+	payload      int64
+}
+
+func (a *aggregator) collect(r rckskel.Result) {
+	a.ms.perPairBytes[a.chip] += int64(r.Bytes + InterchipResultHeaderBytes)
+	a.count++
+	a.payload += int64(r.Bytes)
+	if chunk := a.ms.gather.ChunkResults; chunk > 0 && a.count >= chunk {
+		a.flush()
+	}
+}
+
+func (a *aggregator) flush() {
+	if a.count == 0 {
+		return
+	}
+	b := AggregateHeaderBytes + int(a.payload)
+	a.ms.resultBytes[a.chip] += int64(b)
+	a.ms.noteAggSend(b)
+	a.ms.rt.Fabric.Send(a.m.P, a.chip, a.parent, b, aggMsg{
+		origin: a.chip, results: a.count, payload: a.payload,
+	})
+	a.count, a.payload = 0, 0
+}
+
+// noteAggSend accounts one aggregate blob put on the fabric (origin
+// flushes and relay hops alike).
+func (ms *MultiSession) noteAggSend(bytes int) {
+	ms.aggWireBytes += int64(bytes)
+	ms.aggMessages++
+	if reg := ms.cfg.Metrics; reg != nil {
+		reg.Counter("interchip.gather.messages").Inc()
+		reg.Counter("interchip.gather.bytes").Add(float64(bytes))
+	}
+}
+
+// noteGatherHop records one blob hop's latency (send entry to receiver
+// drain) under the sender's tree level; the per-level series surfaces
+// in metrics and, through BuildChromeTrace, the Perfetto trace.
+func (ms *MultiSession) noteGatherHop(now float64, msg interchip.Message) {
+	level := ms.gather.DepthOf(msg.Src)
+	lat := now - msg.SentAt
+	ms.gatherLat[level] = append(ms.gatherLat[level], lat)
+	if reg := ms.cfg.Metrics; reg != nil {
+		reg.Series("interchip.gather.latency_seconds", "level", fmt.Sprintf("L%d", level)).Append(now, lat)
+	}
+}
+
+// noteErr keeps the first farm error raised inside a master body.
+func (ms *MultiSession) noteErr(err error) {
+	if err != nil && ms.runErr == nil {
+		ms.runErr = err
+	}
+}
+
+// farmShard runs one chip's workload on its own team: classic FARM (or
+// FARMFT) for a single queue, FarmDynamic pull scheduling for per-worker
+// affinity queues. collect observes every result (may be nil).
+func farmShard(m *Master, w shardWork, collect func(rckskel.Result)) error {
+	if w.queues != nil {
+		queueOf := map[int]int{}
+		for i, lead := range m.Session().Placement().WorkerLeads {
+			queueOf[lead] = i
+		}
+		heads := make([]int, len(w.queues))
+		_, err := m.FarmDynamic(func(slave int) (rckskel.Job, bool) {
+			q := queueOf[slave]
+			if heads[q] >= len(w.queues[q]) {
+				return rckskel.Job{}, false
+			}
+			j := w.queues[q][heads[q]]
+			heads[q]++
+			return j, true
+		}, collect)
+		return err
+	}
+	if len(w.jobs) > 0 {
+		m.Farm(w.jobs, collect)
+	}
+	return nil
+}
 
 // Run executes the multi-chip farm: queues[c] is chip c's prepared job
 // queue (possibly empty), shardBytes[c] the fabric cost of handing
@@ -222,6 +389,41 @@ func (ms *MultiSession) Run(loadResidues int, queues [][]rckskel.Job, shardBytes
 		return Report{}, fmt.Errorf("farm: multi-chip run wants %d queues and shard sizes, got %d and %d",
 			n, len(queues), len(shardBytes))
 	}
+	work := make([]shardWork, n)
+	for c := range queues {
+		work[c] = shardWork{jobs: queues[c]}
+	}
+	return ms.run(loadResidues, work, shardBytes)
+}
+
+// RunAffinity is Run with per-worker pull queues: queues[c][w] is the
+// job queue of chip c's worker w (the cache-affinity deal). The session
+// must have been constructed with Dynamic set.
+func (ms *MultiSession) RunAffinity(loadResidues int, queues [][][]rckskel.Job, shardBytes []int64) (Report, error) {
+	n := ms.Chips()
+	if len(queues) != n || len(shardBytes) != n {
+		return Report{}, fmt.Errorf("farm: multi-chip run wants %d queue sets and shard sizes, got %d and %d",
+			n, len(queues), len(shardBytes))
+	}
+	work := make([]shardWork, n)
+	for c := range queues {
+		work[c] = shardWork{queues: queues[c]}
+	}
+	return ms.run(loadResidues, work, shardBytes)
+}
+
+// run spawns the sub-masters and the root and drives the shared engine.
+//
+// Protocol: the root scatters one shardMsg per remote chip, then farms
+// its own shard. A sub-master receives its shard (always the first
+// message in its FIFO inbox: the root scatters in chip order before any
+// results can flow), farms it while aggregating results, flushes its
+// blob(s) toward its gather parent, then relays its children's blobs
+// upward and forwards a gatherDone once every child subtree reported.
+// The root drains blobs and gatherDone markers from its direct children
+// only — O(arity) flows instead of one stream per chip per pair.
+func (ms *MultiSession) run(loadResidues int, work []shardWork, shardBytes []int64) (Report, error) {
+	n := ms.Chips()
 	fabric := ms.rt.Fabric
 	copy(ms.shardBytes, shardBytes)
 	ms.shardBytes[0] = 0
@@ -229,46 +431,61 @@ func (ms *MultiSession) Run(loadResidues int, queues [][]rckskel.Job, shardBytes
 	for c := 1; c < n; c++ {
 		c := c
 		sess := ms.sessions[c]
+		parent := ms.gather.Parent(c)
+		kids := ms.gather.Children(c, n)
 		sess.SpawnMaster("", func(m *Master) {
 			msg := fabric.Recv(m.P, c)
 			sm := msg.Payload.(shardMsg)
-			if len(sm.jobs) > 0 {
-				m.Farm(sm.jobs, func(r rckskel.Result) {
-					b := r.Bytes + InterchipResultHeaderBytes
-					ms.resultBytes[c] += int64(b)
-					fabric.Send(m.P, c, 0, b, resultMsg{})
-				})
-			}
+			agg := &aggregator{ms: ms, m: m, chip: c, parent: parent}
+			ms.noteErr(farmShard(m, shardWork{jobs: sm.jobs, queues: sm.queues}, agg.collect))
+			agg.flush()
 			m.Terminate()
-			fabric.Send(m.P, c, 0, InterchipControlBytes, shardDone{chip: c})
+			for pending := len(kids); pending > 0; {
+				msg := fabric.Recv(m.P, c)
+				switch pl := msg.Payload.(type) {
+				case aggMsg:
+					ms.noteGatherHop(m.P.Now(), msg)
+					ms.noteAggSend(msg.Bytes)
+					fabric.Send(m.P, c, parent, msg.Bytes, pl)
+				case gatherDone:
+					pending--
+				}
+			}
+			fabric.Send(m.P, c, parent, InterchipControlBytes, gatherDone{chip: c})
 		})
 	}
 
 	root := ms.sessions[0]
+	rootKids := ms.gather.Children(0, n)
 	root.SpawnMaster("", func(m *Master) {
 		if loadResidues > 0 {
 			m.LoadResidues(loadResidues)
 		}
 		for c := 1; c < n; c++ {
-			fabric.Send(m.P, 0, c, int(ms.shardBytes[c]), shardMsg{jobs: queues[c]})
+			fabric.Send(m.P, 0, c, int(ms.shardBytes[c]), shardMsg{jobs: work[c].jobs, queues: work[c].queues})
 		}
-		if len(queues[0]) > 0 {
-			m.Farm(queues[0], nil)
-		}
+		ms.noteErr(farmShard(m, work[0], nil))
 		m.Terminate()
-		// Gather: remote results and shard-done markers arrive through
-		// the root inbox in fabric order; results were booked at their
-		// sub-master, so the drain only pays the transport and handling
-		// time — which is exactly where a saturated root shows up.
-		for pending := n - 1; pending > 0; {
+		// Gather: aggregate blobs and gather-done markers arrive through
+		// the root inbox from the root's direct children only; per-pair
+		// results were booked at their sub-master, so the drain pays one
+		// transport + handling per blob — the root inbox stays shallow
+		// where the per-pair protocol queued thousands of results.
+		for pending := len(rootKids); pending > 0; {
 			msg := fabric.Recv(m.P, 0)
-			if _, ok := msg.Payload.(shardDone); ok {
+			switch msg.Payload.(type) {
+			case aggMsg:
+				ms.noteGatherHop(m.P.Now(), msg)
+			case gatherDone:
 				pending--
 			}
 		}
 	})
 
 	err := ms.rt.Engine.Run()
+	if err == nil {
+		err = ms.runErr
+	}
 	return ms.finalize(), err
 }
 
@@ -325,6 +542,7 @@ func (ms *MultiSession) finalize() Report {
 			TotalSeconds: s.rep.TotalSeconds,
 			FarmStats:    s.rep.FarmStats,
 			Wire:         s.rep.Wire,
+			Faults:       s.rep.Faults,
 			ShardBytes:   ms.shardBytes[c],
 			ResultBytes:  ms.resultBytes[c],
 		}
@@ -339,8 +557,45 @@ func (ms *MultiSession) finalize() Report {
 	rep.FarmStats.MakespanSeconds = rep.TotalSeconds - rep.LoadSeconds
 	rep.Wire = ms.mergeWire()
 	rep.Metrics = ms.mergeMetrics()
+	rep.Faults = ms.mergeFaults(coresPerChip)
 	rep.Interchip = ms.interchipReport()
 	return rep
+}
+
+// mergeFaults folds the per-chip fault summaries into one board-level
+// block with global core ids (chip*coresPerChip + local); nil on
+// fault-free runs.
+func (ms *MultiSession) mergeFaults(coresPerChip int) *FaultStats {
+	if ms.cfg.Faults == nil {
+		return nil
+	}
+	out := &FaultStats{}
+	for c, s := range ms.sessions {
+		cf := s.rep.Faults
+		if cf == nil {
+			continue
+		}
+		out.Injected.CoresKilled += cf.Injected.CoresKilled
+		out.Injected.CoresStalled += cf.Injected.CoresStalled
+		out.Injected.Dropped += cf.Injected.Dropped
+		out.Injected.Delayed += cf.Injected.Delayed
+		out.Injected.Corrupted += cf.Injected.Corrupted
+		out.Timeouts += cf.Timeouts
+		out.DetectedCorrupt += cf.DetectedCorrupt
+		out.Retries += cf.Retries
+		out.Reassigned += cf.Reassigned
+		out.DuplicatesDropped += cf.DuplicatesDropped
+		out.LostJobs += cf.LostJobs
+		for _, core := range cf.DeadCores {
+			out.DeadCores = append(out.DeadCores, c*coresPerChip+core)
+		}
+		for _, core := range cf.Blacklisted {
+			out.Blacklisted = append(out.Blacklisted, c*coresPerChip+core)
+		}
+	}
+	sort.Ints(out.DeadCores)
+	sort.Ints(out.Blacklisted)
+	return out
 }
 
 // mergeWire sums the chip-local wire reports (nil when no chip used the
@@ -426,6 +681,7 @@ func (ms *MultiSession) mergeMetrics() *MetricsReport {
 
 // interchipReport distills the fabric accounting into the Report block.
 func (ms *MultiSession) interchipReport() *InterchipReport {
+	n := ms.Chips()
 	st := ms.rt.Fabric.Stats()
 	out := &InterchipReport{
 		Profile:         ms.rt.Fabric.Config().String(),
@@ -433,13 +689,39 @@ func (ms *MultiSession) interchipReport() *InterchipReport {
 		Bytes:           st.Bytes,
 		SendWaitSeconds: st.SendWaitSeconds,
 		PeakRootInbox:   st.PeakInboxDepth[0],
+		RootFlows:       st.InboxMessages[0],
+		GatherMode:      ms.gather.Mode,
+		GatherArity:     ms.gather.Arity,
+		GatherDepth:     ms.gather.Depth(n),
+		RootFanIn:       len(ms.gather.Children(0, n)),
+		AggMessages:     ms.aggMessages,
+		ResultBytes:     ms.aggWireBytes,
 	}
-	for c := 0; c < ms.Chips(); c++ {
+	for c := 0; c < n; c++ {
 		out.ShardBytes += ms.shardBytes[c]
-		out.ResultBytes += ms.resultBytes[c]
+		out.PerPairResultBytes += ms.perPairBytes[c]
+	}
+	levels := make([]int, 0, len(ms.gatherLat))
+	for level := range ms.gatherLat {
+		levels = append(levels, level)
+	}
+	sort.Ints(levels)
+	for _, level := range levels {
+		lats := ms.gatherLat[level]
+		gl := GatherLevel{Level: level, Blobs: int64(len(lats))}
+		for _, lat := range lats {
+			gl.MeanLatencySeconds += lat
+			if lat > gl.MaxLatencySeconds {
+				gl.MaxLatencySeconds = lat
+			}
+		}
+		if len(lats) > 0 {
+			gl.MeanLatencySeconds /= float64(len(lats))
+		}
+		out.GatherLevels = append(out.GatherLevels, gl)
 	}
 	if reg := ms.cfg.Metrics; reg != nil {
-		for c := 0; c < ms.Chips(); c++ {
+		for c := 0; c < n; c++ {
 			out.IntraChipBytes += int64(reg.Counter("rcce.send.bytes", "chip", fmt.Sprintf("c%d", c)).Value())
 		}
 	}

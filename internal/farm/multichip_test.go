@@ -106,7 +106,8 @@ func TestMultiChipRunsAFarm(t *testing.T) {
 		t.Errorf("chip 0 fabric bytes = %d/%d, want 0/0 (its shard never leaves the root)", c0.ShardBytes, c0.ResultBytes)
 	}
 	wantShard := int64(ShardHeaderBytes + 6*512)
-	wantResults := int64(6 * (64 + InterchipResultHeaderBytes))
+	// One aggregate blob for the whole shard: header + 6 x 64 B results.
+	wantResults := int64(AggregateHeaderBytes + 6*64)
 	if c1.ShardBytes != wantShard || c1.ResultBytes != wantResults {
 		t.Errorf("chip 1 fabric bytes = %d/%d, want %d/%d", c1.ShardBytes, c1.ResultBytes, wantShard, wantResults)
 	}
@@ -123,9 +124,9 @@ func TestMultiChipRunsAFarm(t *testing.T) {
 	if ic == nil {
 		t.Fatal("no interchip report")
 	}
-	// 1 shard out + 6 results back + 1 shard-done.
-	if ic.Transfers != 8 {
-		t.Errorf("interchip transfers = %d, want 8", ic.Transfers)
+	// 1 shard out + 1 aggregate blob back + 1 gather-done.
+	if ic.Transfers != 3 {
+		t.Errorf("interchip transfers = %d, want 3", ic.Transfers)
 	}
 	if want := wantShard + wantResults + InterchipControlBytes; ic.Bytes != want {
 		t.Errorf("interchip bytes = %d, want %d", ic.Bytes, want)
@@ -133,8 +134,26 @@ func TestMultiChipRunsAFarm(t *testing.T) {
 	if ic.ShardBytes != wantShard || ic.ResultBytes != wantResults {
 		t.Errorf("interchip shard/result split = %d/%d, want %d/%d", ic.ShardBytes, ic.ResultBytes, wantShard, wantResults)
 	}
-	if ic.PeakRootInbox < 1 {
-		t.Errorf("peak root inbox = %d, want >= 1", ic.PeakRootInbox)
+	// Aggregation must beat the per-pair counterfactual (6 results x
+	// (64 B + the per-result frame)) and keep the root inbox shallow.
+	if want := int64(6 * (64 + InterchipResultHeaderBytes)); ic.PerPairResultBytes != want {
+		t.Errorf("per-pair counterfactual = %d, want %d", ic.PerPairResultBytes, want)
+	}
+	if ic.ResultBytes >= ic.PerPairResultBytes {
+		t.Errorf("aggregated result bytes %d not below per-pair %d", ic.ResultBytes, ic.PerPairResultBytes)
+	}
+	if ic.PeakRootInbox > 2 {
+		t.Errorf("peak root inbox = %d, want <= 2 (one blob + one done in flight)", ic.PeakRootInbox)
+	}
+	if ic.RootFlows != 2 {
+		t.Errorf("root flows = %d, want 2 (one blob + one done)", ic.RootFlows)
+	}
+	if ic.GatherMode != GatherTree || ic.RootFanIn != 1 || ic.AggMessages != 1 {
+		t.Errorf("gather topology = %s fan-in %d agg msgs %d, want tree/1/1", ic.GatherMode, ic.RootFanIn, ic.AggMessages)
+	}
+	if len(ic.GatherLevels) != 1 || ic.GatherLevels[0].Level != 1 || ic.GatherLevels[0].Blobs != 1 ||
+		ic.GatherLevels[0].MeanLatencySeconds <= 0 {
+		t.Errorf("gather levels = %+v, want one level-1 hop with positive latency", ic.GatherLevels)
 	}
 	if ic.IntraChipBytes <= 0 {
 		t.Errorf("intra-chip bytes = %d, want > 0 (registry was set)", ic.IntraChipBytes)
@@ -157,8 +176,9 @@ func TestMultiChipEmptyShard(t *testing.T) {
 	if rep.PerChip[2].Collected != 0 || rep.PerChip[2].ResultBytes != 0 {
 		t.Errorf("idle chip report = %+v", rep.PerChip[2])
 	}
-	if rep.Interchip.Transfers != 2+4+2 {
-		t.Errorf("transfers = %d, want 8 (2 shards, 4 results, 2 dones)", rep.Interchip.Transfers)
+	// An idle chip ships no blob: 2 shards, 1 blob (chip 1), 2 dones.
+	if rep.Interchip.Transfers != 2+1+2 {
+		t.Errorf("transfers = %d, want 5 (2 shards, 1 blob, 2 dones)", rep.Interchip.Transfers)
 	}
 }
 

@@ -136,6 +136,93 @@ func (pl *Plan) Validate(numCores, master int) error {
 	return nil
 }
 
+// SplitPlan cuts a plan whose core ids are global across a multi-chip
+// board (chip = id / coresPerChip, local = id % coresPerChip) into one
+// plan per chip, for arming one injector per chip session. Wildcard
+// link endpoints are replicated onto every chip; a link rule pinning
+// two specific cores on different chips is rejected — the wire
+// interposer is chip-local, and inter-chip traffic does not ride the
+// RCCE mesh. Every chip receives a plan (possibly empty), so all chips
+// run the same fault-tolerant protocol; per-chip seeds derive from the
+// plan seed (Seed + chip) so chips draw independent but reproducible
+// random streams. A nil plan yields empty per-chip plans.
+func SplitPlan(pl *Plan, chips, coresPerChip int) ([]*Plan, error) {
+	if chips < 1 || coresPerChip < 1 {
+		return nil, fmt.Errorf("fault: split wants chips >= 1 and coresPerChip >= 1, got %d and %d", chips, coresPerChip)
+	}
+	out := make([]*Plan, chips)
+	var seed int64
+	if pl != nil {
+		seed = pl.Seed
+	}
+	for c := range out {
+		out[c] = &Plan{Seed: seed + int64(c)}
+	}
+	if pl == nil {
+		return out, nil
+	}
+	total := chips * coresPerChip
+	locate := func(kind string, core int) (int, int, error) {
+		if core < 0 || core >= total {
+			return 0, 0, fmt.Errorf("fault: %s targets core %d, out of range [0,%d)", kind, core, total)
+		}
+		return core / coresPerChip, core % coresPerChip, nil
+	}
+	for _, k := range pl.Kills {
+		chip, local, err := locate("kill", k.Core)
+		if err != nil {
+			return nil, err
+		}
+		k.Core = local
+		out[chip].Kills = append(out[chip].Kills, k)
+	}
+	for _, s := range pl.Stalls {
+		chip, local, err := locate("stall", s.Core)
+		if err != nil {
+			return nil, err
+		}
+		s.Core = local
+		out[chip].Stalls = append(out[chip].Stalls, s)
+	}
+	for _, l := range pl.Links {
+		switch {
+		case l.Src == Wildcard && l.Dst == Wildcard:
+			for c := range out {
+				out[c].Links = append(out[c].Links, l)
+			}
+		case l.Src == Wildcard:
+			chip, local, err := locate("link dst", l.Dst)
+			if err != nil {
+				return nil, err
+			}
+			l.Dst = local
+			out[chip].Links = append(out[chip].Links, l)
+		case l.Dst == Wildcard:
+			chip, local, err := locate("link src", l.Src)
+			if err != nil {
+				return nil, err
+			}
+			l.Src = local
+			out[chip].Links = append(out[chip].Links, l)
+		default:
+			cs, ls, err := locate("link src", l.Src)
+			if err != nil {
+				return nil, err
+			}
+			cd, ld, err := locate("link dst", l.Dst)
+			if err != nil {
+				return nil, err
+			}
+			if cs != cd {
+				return nil, fmt.Errorf("fault: link fault %d>%d crosses chips %d and %d (link rules are chip-local)", l.Src, l.Dst, cs, cd)
+			}
+			l.Src, l.Dst = ls, ld
+			out[cs].Links = append(out[cs].Links, l)
+		}
+	}
+	return out, nil
+}
+
 // Stats counts faults actually injected during a run.
 type Stats struct {
 	CoresKilled  int

@@ -1,6 +1,22 @@
 package geom
 
-import "math"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kernel misuse sentinels. The superposition routines sit on the hot
+// path of every comparison, so precondition violations still panic —
+// but with errors wrapping these sentinels, so a recovery boundary
+// (tmalign.TryCompare) can distinguish bad kernel input from a genuine
+// bug and turn it into a caller-visible error.
+var (
+	// ErrPointMismatch reports point sets of different lengths.
+	ErrPointMismatch = errors.New("geom: point sets differ in length")
+	// ErrNoPoints reports a superposition over zero points.
+	ErrNoPoints = errors.New("geom: superposition of empty point sets")
+)
 
 // Superpose computes the rigid transform t that, applied to the mobile
 // point set p, minimises the RMSD to the fixed point set q
@@ -14,11 +30,11 @@ import "math"
 // plain Kabsch/SVD this never produces a reflection.
 func Superpose(p, q []Vec3) (Transform, float64) {
 	if len(p) != len(q) {
-		panic("geom: Superpose point sets differ in length")
+		panic(fmt.Errorf("%w (Superpose: %d vs %d)", ErrPointMismatch, len(p), len(q)))
 	}
 	n := len(p)
 	if n == 0 {
-		panic("geom: Superpose on empty point sets")
+		panic(fmt.Errorf("%w (Superpose)", ErrNoPoints))
 	}
 	cp := Centroid(p)
 	cq := Centroid(q)
@@ -66,7 +82,7 @@ func Superpose(p, q []Vec3) (Transform, float64) {
 // point sets without superposing them.
 func RMSD(p, q []Vec3) float64 {
 	if len(p) != len(q) {
-		panic("geom: RMSD point sets differ in length")
+		panic(fmt.Errorf("%w (RMSD: %d vs %d)", ErrPointMismatch, len(p), len(q)))
 	}
 	if len(p) == 0 {
 		return 0

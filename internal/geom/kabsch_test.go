@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -127,11 +128,29 @@ func TestSuperposeDegenerate(t *testing.T) {
 
 func TestSuperposePanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("Superpose with mismatched lengths should panic")
+		rec := recover()
+		if rec == nil {
+			t.Fatal("Superpose with mismatched lengths should panic")
+		}
+		// The panic value must be an error wrapping the typed sentinel,
+		// so tmalign.TryCompare can recover it.
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrPointMismatch) {
+			t.Errorf("panic value %v does not wrap ErrPointMismatch", rec)
 		}
 	}()
 	Superpose([]Vec3{{}}, []Vec3{{}, {}})
+}
+
+func TestSuperposeEmptyPanics(t *testing.T) {
+	defer func() {
+		rec := recover()
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrNoPoints) {
+			t.Errorf("panic value %v does not wrap ErrNoPoints", rec)
+		}
+	}()
+	Superpose(nil, nil)
 }
 
 func TestRMSDKnown(t *testing.T) {

@@ -163,6 +163,11 @@ type Stats struct {
 	SendWaitSeconds float64
 	// PeakInboxDepth[d] is the deepest chip d's inbox ever got.
 	PeakInboxDepth []int
+	// InboxMessages[d] counts every message delivered into chip d's
+	// inbox — for the root (d = 0) this is the number of inbound flows
+	// the gather topology actually produced, independent of how deep
+	// the inbox got at any instant.
+	InboxMessages []int64
 	// LinkBytes[s][d] is the per-directed-pair byte volume.
 	LinkBytes [][]int64
 }
@@ -203,6 +208,7 @@ func New(n int, cfg Config) *Fabric {
 		f.inbox[c] = sim.NewQueue(fmt.Sprintf("interchip.inbox.c%d", c))
 	}
 	f.stats.PeakInboxDepth = make([]int, n)
+	f.stats.InboxMessages = make([]int64, n)
 	f.stats.LinkBytes = make([][]int64, n)
 	for c := range f.stats.LinkBytes {
 		f.stats.LinkBytes[c] = make([]int64, n)
@@ -298,6 +304,7 @@ func (f *Fabric) Send(p *sim.Process, src, dst, bytes int, payload any) {
 		Src: src, Dst: dst, Bytes: bytes, Payload: payload,
 		SentAt: sentAt, ArrivedAt: p.Now(),
 	})
+	f.stats.InboxMessages[dst]++
 	f.noteInbox(dst, p.Now())
 }
 
@@ -334,6 +341,7 @@ func (f *Fabric) noteInbox(dst int, now float64) {
 func (f *Fabric) Stats() Stats {
 	out := f.stats
 	out.PeakInboxDepth = append([]int(nil), f.stats.PeakInboxDepth...)
+	out.InboxMessages = append([]int64(nil), f.stats.InboxMessages...)
 	out.LinkBytes = make([][]int64, f.n)
 	for c := range out.LinkBytes {
 		out.LinkBytes[c] = append([]int64(nil), f.stats.LinkBytes[c]...)

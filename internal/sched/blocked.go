@@ -106,7 +106,20 @@ func blockWeights(blocks [][]Pair, cost func(Pair) float64) []float64 {
 // (heaviest-first) order and pairs keep their within-block order.
 func dealLPT(blocks [][]Pair, weights []float64, n int) [][]Pair {
 	queues := make([][]Pair, n)
-	order := make([]int, len(blocks))
+	for q, idxs := range dealIdxLPT(weights, n) {
+		for _, b := range idxs {
+			queues[q] = append(queues[q], blocks[b]...)
+		}
+	}
+	return queues
+}
+
+// dealIdxLPT is dealLPT on block indices: each queue lists the blocks
+// it was dealt, in assignment (heaviest-total-first) order, for callers
+// that want to reorder a queue's blocks before flattening.
+func dealIdxLPT(weights []float64, n int) [][]int {
+	queues := make([][]int, n)
+	order := make([]int, len(weights))
 	for i := range order {
 		order[i] = i
 	}
@@ -119,10 +132,28 @@ func dealLPT(blocks [][]Pair, weights []float64, n int) [][]Pair {
 				best = q
 			}
 		}
-		queues[best] = append(queues[best], blocks[b]...)
+		queues[best] = append(queues[best], b)
 		load[best] += weights[b]
 	}
 	return queues
+}
+
+// blockMaxCosts returns each block's single heaviest pair (1 when cost
+// is nil — every pair counts equally).
+func blockMaxCosts(blocks [][]Pair, cost func(Pair) float64) []float64 {
+	maxes := make([]float64, len(blocks))
+	for b, ps := range blocks {
+		for _, p := range ps {
+			c := 1.0
+			if cost != nil {
+				c = cost(p)
+			}
+			if c > maxes[b] {
+				maxes[b] = c
+			}
+		}
+	}
+	return maxes
 }
 
 // AffinityAssign deals the tile blocks of a pair list onto `slaves`

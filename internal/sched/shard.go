@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrShardCount reports a non-positive shard (chip) count.
@@ -13,18 +14,21 @@ var ErrShardCount = errors.New("sched: shard count must be >= 1")
 // of the all-vs-all matrix): blocks of tile x tile pairs are dealt
 // heaviest-first onto the least-loaded shard, so each block's
 // structures cross the inter-chip fabric exactly once and the per-chip
-// work is balanced. Within a shard, blocks keep assignment order and
-// pairs keep their within-block order, so a shard is itself a valid
-// blocked ordering for the on-chip cache model.
+// work is balanced. Within a shard, blocks are ordered by their
+// heaviest single pair (longest jobs start first, shrinking the
+// makespan tail) and pairs keep their within-block order, so a shard
+// is itself a valid blocked ordering for the on-chip cache model.
 //
 // Edge cases are explicit rather than silently truncating:
 //   - shards < 1 is an error (ErrShardCount).
 //   - shards == 1 returns the input order exactly unchanged — the
 //     single-chip bit-identity guarantee multi-chip runs rely on.
-//   - A tile so large that fewer blocks than shards exist (tile wider
-//     than a shard's slice of the grid) falls back to dealing
-//     individual pairs, so no chip idles just because the tile was
-//     coarse. tile < 2 deals individual pairs directly.
+//   - A tile so coarse that it starves the deal (fewer than
+//     minShardBlocks blocks per shard) is auto-shrunk: the tile is
+//     halved until each shard can receive several blocks, degrading to
+//     per-pair dealing in the limit, so no chip idles or is stuck with
+//     a token shard just because the tile was coarse. tile < 2 deals
+//     individual pairs directly.
 //   - Block counts not divisible by shards simply balance by weight;
 //     with fewer pairs than shards the surplus shards come back empty
 //     (callers decide whether an empty shard is acceptable).
@@ -43,8 +47,34 @@ func ShardPairs(pairs []Pair, shards, tile int, cost func(Pair) float64) ([][]Pa
 		return make([][]Pair, shards), nil
 	}
 	blocks := gatherBlocks(pairs, tile)
-	if len(blocks) < shards && tile >= 2 {
-		blocks = gatherBlocks(pairs, 1)
+	for t := tile; len(blocks) < shards*minShardBlocks && t >= 2; {
+		t /= 2
+		blocks = gatherBlocks(pairs, t)
 	}
-	return dealLPT(blocks, blockWeights(blocks, cost), shards), nil
+	queues := dealIdxLPT(blockWeights(blocks, cost), shards)
+	// A chip master deals its shard in queue order, so a long pair that
+	// sits deep in the queue starts late and becomes the chip's
+	// makespan tail — LPT's heaviest-TOTAL-first order does not prevent
+	// this, because a block of many medium pairs outweighs the block
+	// holding the single longest pair. Reorder each shard's blocks by
+	// their heaviest single pair so the longest jobs start first
+	// (blocks stay intact: within-block order, and therefore the
+	// cache-friendly structure reuse, is preserved). With nil cost all
+	// maxima tie and the stable sort keeps assignment order.
+	maxes := blockMaxCosts(blocks, cost)
+	out := make([][]Pair, shards)
+	for q, idxs := range queues {
+		sort.SliceStable(idxs, func(a, b int) bool { return maxes[idxs[a]] > maxes[idxs[b]] })
+		for _, b := range idxs {
+			out[q] = append(out[q], blocks[b]...)
+		}
+	}
+	return out, nil
 }
+
+// minShardBlocks is the LPT granularity floor: ShardPairs shrinks the
+// tile until every shard can be dealt at least this many blocks (or the
+// tile bottoms out at per-pair dealing). One block per shard balances
+// only when blocks weigh the same; a few blocks each lets LPT absorb
+// the weight skew of diagonal tiles.
+const minShardBlocks = 4

@@ -149,6 +149,68 @@ func TestShardPairsBalances(t *testing.T) {
 	}
 }
 
+// TestShardPairsNoStarvedShards is the regression for the coarse-tile
+// starvation bug: CK34 at 8 chips with tile 6 yielded only 21 blocks,
+// leaving the deal so lumpy that chip efficiency sat at 0.36. The tile
+// must auto-shrink so that every shard gets work whenever there are at
+// least as many pairs as shards, at any tile.
+func TestShardPairsNoStarvedShards(t *testing.T) {
+	for _, tc := range []struct {
+		n, shards, tile int
+	}{
+		{34, 8, 6},  // the CK34@8 configuration that exposed the bug
+		{34, 16, 8}, // even coarser relative to the shard count
+		{10, 8, 64}, // tile dwarfs the whole grid
+		{5, 9, 6},   // pairs (10) barely exceed shards
+	} {
+		in := AllVsAll(tc.n)
+		if len(in) < tc.shards {
+			t.Fatalf("bad case: %d pairs < %d shards", len(in), tc.shards)
+		}
+		shards, err := ShardPairs(in, tc.shards, tc.tile, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, ps := range shards {
+			if len(ps) == 0 {
+				t.Errorf("n=%d shards=%d tile=%d: shard %d is empty (lens %v)",
+					tc.n, tc.shards, tc.tile, s, shardLens(shards))
+				break
+			}
+		}
+	}
+}
+
+// TestShardPairsShrinksCoarseTile pins that the auto-shrink actually
+// improves balance on the CK34@8 shape, not just non-emptiness: with
+// the length-product cost the worst shard must stay within 30% of the
+// mean, which the un-shrunk 21-block deal cannot achieve.
+func TestShardPairsShrinksCoarseTile(t *testing.T) {
+	lengths := make([]int, 34)
+	for i := range lengths {
+		lengths[i] = 60 + 13*i
+	}
+	cost := LengthProductCost(lengths)
+	shards, err := ShardPairs(AllVsAll(34), 8, 6, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, len(shards))
+	total := 0.0
+	for s, ps := range shards {
+		for _, p := range ps {
+			loads[s] += cost(p)
+			total += cost(p)
+		}
+	}
+	mean := total / float64(len(shards))
+	for s, l := range loads {
+		if l < 0.7*mean || l > 1.3*mean {
+			t.Errorf("shard %d load %.0f more than 30%% off mean %.0f (loads %v)", s, l, mean, loads)
+		}
+	}
+}
+
 func TestShardPairsDeterministic(t *testing.T) {
 	in := AllVsAll(21)
 	a, err := ShardPairs(in, 5, 4, nil)
@@ -174,4 +236,46 @@ func TestShardPairsErrors(t *testing.T) {
 	if err != nil || len(out) != 3 {
 		t.Fatalf("empty input: got %v, %v", out, err)
 	}
+}
+
+// TestShardPairsLongestJobFirst pins the makespan-tail rule: within a
+// shard, the block holding the single longest pair must be dealt first,
+// even when another block is heavier in total. (On RS119 at 8 chips a
+// handful of ~87 s pairs queued behind ~60 medium pairs turned one chip
+// into a 181 s straggler — 1.8x its fair share.)
+func TestShardPairsLongestJobFirst(t *testing.T) {
+	// 13 structures, tile 4. The giant pair (11,12) lives in the 4-pair
+	// edge block (2,3) with total weight 3*36000+90000 = 198000; the
+	// full 16-pair off-diagonal blocks weigh 16*14400 = 230400 — more
+	// in total, but their longest pair is 6x shorter. Total-weight
+	// ordering deals a fat medium block before the giant.
+	lengths := make([]int, 13)
+	for i := range lengths {
+		lengths[i] = 120 // medium everywhere ...
+	}
+	lengths[11], lengths[12] = 300, 300 // ... one giant pair (11,12)
+	cost := LengthProductCost(lengths)
+	shards, err := ShardPairs(AllVsAll(13), 2, 4, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	giant := Pair{I: 11, J: 12}
+	for s, shard := range shards {
+		for i, p := range shard {
+			if p != giant {
+				continue
+			}
+			// The giant pair's block must lead its shard: every pair
+			// before it shares its block.
+			for j := 0; j < i; j++ {
+				q := shard[j]
+				if q.I/4 != giant.I/4 || q.J/4 != giant.J/4 {
+					t.Fatalf("shard %d: pair %v (block %d,%d) dealt before the longest pair %v",
+						s, q, q.I/4, q.J/4, giant)
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("longest pair missing from every shard")
 }

@@ -1,6 +1,8 @@
 package seqalign
 
 import (
+	"fmt"
+
 	"rckalign/internal/costmodel"
 )
 
@@ -16,7 +18,7 @@ import (
 // optimal score is returned.
 func (a *Aligner) AlignAffine(len1, len2 int, score Scorer, gapOpen, gapExtend float64, invmap []int, ops *costmodel.Counter) float64 {
 	if len(invmap) != len2 {
-		panic("seqalign: invmap length must equal len2")
+		panic(fmt.Errorf("%w (AlignAffine: %d vs %d)", ErrInvmapLength, len(invmap), len2))
 	}
 	const negInf = -1e18
 	cols := len2 + 1

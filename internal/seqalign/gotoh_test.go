@@ -1,6 +1,7 @@
 package seqalign
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -143,8 +144,10 @@ func TestAffineChargesOps(t *testing.T) {
 
 func TestAffinePanicsOnBadInvmap(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+		rec := recover()
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrInvmapLength) {
+			t.Errorf("panic value %v does not wrap ErrInvmapLength", rec)
 		}
 	}()
 	NewAligner().AlignAffine(3, 4, func(i, j int) float64 { return 0 }, -1, -1, make([]int, 2), nil)

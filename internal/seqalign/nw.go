@@ -7,9 +7,18 @@
 package seqalign
 
 import (
+	"errors"
+	"fmt"
+
 	"rckalign/internal/costmodel"
 	"rckalign/internal/ss"
 )
+
+// ErrInvmapLength reports an invmap buffer whose length does not equal
+// len2 — a kernel precondition violation. The aligners panic with an
+// error wrapping this sentinel so a recovery boundary
+// (tmalign.TryCompare) can surface it as a caller-visible error.
+var ErrInvmapLength = errors.New("seqalign: invmap length must equal len2")
 
 // Scorer returns the match score for aligning position i of chain 1 with
 // position j of chain 2 (0-based).
@@ -49,7 +58,7 @@ func (a *Aligner) grow(len1, len2 int) {
 // ties prefer the diagonal, then the vertical (j-1) move.
 func (a *Aligner) Align(len1, len2 int, score Scorer, gapOpen float64, invmap []int, ops *costmodel.Counter) {
 	if len(invmap) != len2 {
-		panic("seqalign: invmap length must equal len2")
+		panic(fmt.Errorf("%w (Align: %d vs %d)", ErrInvmapLength, len(invmap), len2))
 	}
 	a.grow(len1, len2)
 	cols := a.cols

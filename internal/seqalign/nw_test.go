@@ -1,6 +1,7 @@
 package seqalign
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -167,8 +168,10 @@ func TestAlignChargesOps(t *testing.T) {
 
 func TestAlignInvmapLengthPanic(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for wrong invmap length")
+		rec := recover()
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrInvmapLength) {
+			t.Errorf("panic value %v does not wrap ErrInvmapLength", rec)
 		}
 	}()
 	NewAligner().Align(3, 4, func(i, j int) float64 { return 0 }, -1, make([]int, 3), nil)

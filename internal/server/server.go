@@ -100,9 +100,12 @@ type pairJob struct {
 
 // pairOut is one evaluated pair plus its memoization outcome, the unit
 // the batcher returns so responses and the access log can report memo
-// hit/miss per request.
+// hit/miss per request. Exactly one of res and err is set: a kernel
+// rejection (degenerate input) is a value too, memoized like any
+// result so a bad pair is diagnosed once, not recomputed per request.
 type pairOut struct {
 	res *tmalign.Result
+	err error
 	hit bool
 }
 
@@ -160,8 +163,9 @@ func New(cfg Config) *Server {
 		s.reg.Counter("server.batch.flushes", "trigger", trigger.String()).Inc()
 		s.metricsMu.Unlock()
 	}
-	// The run function is infallible: per-pair panics would mean a bug in
-	// the kernel, and errors surface per item via batcher.Result.Err.
+	// The run function never fails as a batch: kernel rejections are
+	// carried per pair in pairOut.err (served as 422), and a panic that
+	// escapes TryCompare is a genuine kernel bug that should crash.
 	bat, err := batcher.New(bcfg, s.runBatch)
 	if err != nil {
 		panic(err) // unreachable: runBatch is non-nil
@@ -220,9 +224,18 @@ func (s *Server) runBatch(jobs []pairJob) ([]pairOut, error) {
 	reqs := map[string]struct{}{}
 	for k, j := range jobs {
 		v, hit := s.store.GetHit(s.keyFor(j), func() any {
-			return tmalign.Compare(j.a, j.b, s.opt)
+			r, err := tmalign.TryCompare(j.a, j.b, s.opt)
+			if err != nil {
+				return err
+			}
+			return r
 		})
-		out[k] = pairOut{res: v.(*tmalign.Result), hit: hit}
+		switch t := v.(type) {
+		case *tmalign.Result:
+			out[k] = pairOut{res: t, hit: hit}
+		case error:
+			out[k] = pairOut{err: t, hit: hit}
+		}
 		reqs[j.req] = struct{}{}
 	}
 	s.metricsMu.Lock()
@@ -390,6 +403,11 @@ func (s *Server) failErr(w http.ResponseWriter, r *http.Request, err error) {
 		s.fail(w, r, http.StatusConflict, err)
 	case errors.Is(err, batcher.ErrClosed):
 		s.fail(w, r, http.StatusServiceUnavailable, errors.New("server is draining"))
+	case tmalign.IsKernelError(err):
+		// The request was well-formed HTTP but the pair cannot be
+		// aligned (degenerate structure, kernel precondition): the
+		// input, not the server, is at fault.
+		s.fail(w, r, http.StatusUnprocessableEntity, err)
 	default:
 		s.fail(w, r, http.StatusInternalServerError, err)
 	}
@@ -425,6 +443,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := pdb.Parse(bytes.NewReader(body), id)
 	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := tmalign.ValidateStructure(st); err != nil {
+		// Reject degenerate structures at the door: stored once, they
+		// would poison every query touching them.
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
@@ -547,6 +571,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.failErr(w, r, res.Err)
 		return
 	}
+	if res.Value.err != nil {
+		s.failErr(w, r, res.Value.err)
+		return
+	}
 	info.timing = timingOf(res.Timing)
 	info.batch, info.trigger = res.BatchSize, res.Trigger.String()
 	if res.Value.hit {
@@ -596,6 +624,9 @@ func (s *Server) oneVsAll(req, targetID string) (int, []pairJob, []batcher.Resul
 	for _, r := range results {
 		if r.Err != nil {
 			return 0, nil, nil, r.Err
+		}
+		if r.Value.err != nil {
+			return 0, nil, nil, r.Value.err
 		}
 	}
 	return ti, jobs, results, nil

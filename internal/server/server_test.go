@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -404,5 +405,82 @@ func TestCloseDrainsThen503(t *testing.T) {
 	// Uploads and stats still work on a draining server.
 	if w := do(t, s, "GET", "/statsz", nil); w.Code != http.StatusOK {
 		t.Errorf("post-close statsz = %d", w.Code)
+	}
+}
+
+// TestDegenerateUploadRejected: structures the kernel cannot align are
+// rejected at the door with 400 — a chain too short to align, and a
+// file whose coordinate columns parse to NaN (strconv.ParseFloat
+// accepts "NaN", so the PDB parser alone does not catch it).
+func TestDegenerateUploadRejected(t *testing.T) {
+	s, _ := newTestServer(t, 3, Config{})
+
+	short := "ATOM      1  CA  ALA A   1       0.000   0.000   0.000\n" +
+		"ATOM      2  CA  ALA A   2       3.800   0.000   0.000\n"
+	if w := do(t, s, "POST", "/structures?id=short", []byte(short)); w.Code != http.StatusBadRequest {
+		t.Errorf("2-residue upload = %d, want 400: %s", w.Code, w.Body.String())
+	}
+
+	nan := synth.Small(4, 55).Structures[3].Clone()
+	nan.ID = "nanstruct"
+	nan.Residues[2].CA[0] = math.NaN()
+	var buf bytes.Buffer
+	if err := pdb.Write(&buf, nan); err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "POST", "/structures?id=nanstruct", buf.Bytes())
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("NaN upload = %d, want 400: %s", w.Code, w.Body.String())
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "degenerate") {
+		t.Errorf("rejection does not name the cause: %q", er.Error)
+	}
+	// Neither structure was stored.
+	if w := do(t, s, "GET", "/score?a=short&b=nanstruct", nil); w.Code != http.StatusNotFound {
+		t.Errorf("score on rejected uploads = %d, want 404", w.Code)
+	}
+}
+
+// TestDegenerateStoredStructureServes422: a degenerate structure that
+// bypassed upload validation (Preload trusts its caller) turns queries
+// touching it into 422 responses — the kernel's typed precondition
+// errors cross the recovery boundary instead of crashing the server,
+// and the error is memoized like any result.
+func TestDegenerateStoredStructureServes422(t *testing.T) {
+	s, structs := newTestServer(t, 3, Config{})
+	bad := synth.Small(4, 56).Structures[3].Clone()
+	bad.ID = "poison"
+	bad.Residues[0].CA[2] = math.NaN()
+	if err := s.Preload([]*pdb.Structure{bad}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ { // twice: the second hit serves the memoized error
+		w := do(t, s, "GET", "/score?a=poison&b="+structs[0].ID, nil)
+		if w.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("score against poison = %d, want 422: %s", w.Code, w.Body.String())
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(er.Error, "degenerate") || !strings.Contains(er.Error, "poison") {
+			t.Errorf("422 body does not identify the structure: %q", er.Error)
+		}
+	}
+	// Multi-pair queries touching the poison pair fail the same way...
+	if w := do(t, s, "POST", "/onevsall?target=poison", nil); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("onevsall target=poison = %d, want 422", w.Code)
+	}
+	if w := do(t, s, "GET", "/topk?target="+structs[0].ID+"&k=2", nil); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("topk sweeping over poison = %d, want 422", w.Code)
+	}
+	// ...and healthy pairs keep serving.
+	if w := do(t, s, "GET", "/score?a="+structs[0].ID+"&b="+structs[1].ID, nil); w.Code != http.StatusOK {
+		t.Errorf("healthy pair after poison queries = %d, want 200", w.Code)
 	}
 }

@@ -1,0 +1,92 @@
+// Kernel error boundary: the numeric kernels (geom, tmscore, seqalign)
+// panic on precondition violations — the right behaviour on the
+// simulator's hot path, where such a violation is a scheduler bug. A
+// long-lived service cannot crash on one degenerate upload, so the
+// kernels panic with errors wrapping typed sentinels, and TryCompare is
+// the recovery boundary that turns exactly those panics back into
+// ordinary errors while re-raising anything else.
+package tmalign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rckalign/internal/geom"
+	"rckalign/internal/pdb"
+	"rckalign/internal/seqalign"
+	"rckalign/internal/tmscore"
+)
+
+// ErrDegenerateStructure reports a structure the kernel cannot align
+// meaningfully: fewer than 3 CA residues or non-finite coordinates.
+var ErrDegenerateStructure = errors.New("tmalign: degenerate structure")
+
+// kernelSentinels are the typed precondition errors the kernels panic
+// with. Anything not wrapping one of these is a genuine bug and must
+// keep crashing.
+var kernelSentinels = []error{
+	ErrDegenerateStructure,
+	geom.ErrPointMismatch,
+	geom.ErrNoPoints,
+	tmscore.ErrAlignedLength,
+	seqalign.ErrInvmapLength,
+}
+
+// IsKernelError reports whether err wraps one of the kernel's typed
+// input-validation sentinels — the class of failures a server maps to
+// an unprocessable-input response rather than a crash.
+func IsKernelError(err error) bool {
+	for _, s := range kernelSentinels {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateStructure rejects inputs the kernel cannot align: fewer than
+// 3 CA residues, or any non-finite CA coordinate (PDB files can
+// legally parse "NaN" into a coordinate column). The returned error
+// wraps ErrDegenerateStructure.
+func ValidateStructure(st *pdb.Structure) error {
+	cas := st.CAs()
+	if len(cas) < 3 {
+		return fmt.Errorf("%w: %q has %d CA residues, need >= 3", ErrDegenerateStructure, st.ID, len(cas))
+	}
+	for i, v := range cas {
+		for _, c := range v {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("%w: %q has a non-finite CA coordinate at residue %d", ErrDegenerateStructure, st.ID, i)
+			}
+		}
+	}
+	return nil
+}
+
+// TryCompare is Compare behind the kernel error boundary: it validates
+// both structures (ErrDegenerateStructure), runs the comparison, and
+// converts kernel-sentinel panics into returned errors. Panics that do
+// not wrap a kernel sentinel — genuine bugs — propagate unchanged.
+func TryCompare(s1, s2 *pdb.Structure, opt Options) (r *Result, err error) {
+	if err := ValidateStructure(s1); err != nil {
+		return nil, err
+	}
+	if err := ValidateStructure(s2); err != nil {
+		return nil, err
+	}
+	defer recoverKernel(s1.ID, s2.ID, &err)
+	return Compare(s1, s2, opt), nil
+}
+
+// recoverKernel converts a kernel-sentinel panic into *err; anything
+// else propagates unchanged.
+func recoverKernel(id1, id2 string, err *error) {
+	if rec := recover(); rec != nil {
+		if e, ok := rec.(error); ok && IsKernelError(e) {
+			*err = fmt.Errorf("tmalign: %s vs %s: %w", id1, id2, e)
+			return
+		}
+		panic(rec)
+	}
+}

@@ -1,0 +1,123 @@
+package tmalign
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rckalign/internal/geom"
+	"rckalign/internal/pdb"
+	"rckalign/internal/seqalign"
+	"rckalign/internal/tmscore"
+)
+
+// synthStructure builds a CA-like random-walk chain.
+func synthStructure(id string, n int, seed int64) *pdb.Structure {
+	rng := rand.New(rand.NewSource(seed))
+	st := &pdb.Structure{ID: id, Chain: 'A'}
+	cur := geom.V(0, 0, 0)
+	for i := 0; i < n; i++ {
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Unit()
+		cur = cur.Add(dir.Scale(3.8))
+		st.Residues = append(st.Residues, pdb.Residue{Seq: i + 1, Name: "ALA", AA: 'A', CA: cur})
+	}
+	return st
+}
+
+func TestValidateStructure(t *testing.T) {
+	if err := ValidateStructure(synthStructure("ok", 20, 1)); err != nil {
+		t.Errorf("valid structure rejected: %v", err)
+	}
+	short := synthStructure("short", 2, 2)
+	if err := ValidateStructure(short); !errors.Is(err, ErrDegenerateStructure) {
+		t.Errorf("2-residue structure: err = %v, want ErrDegenerateStructure", err)
+	}
+	nan := synthStructure("nan", 10, 3)
+	nan.Residues[4].CA[1] = math.NaN()
+	if err := ValidateStructure(nan); !errors.Is(err, ErrDegenerateStructure) {
+		t.Errorf("NaN coordinate: err = %v, want ErrDegenerateStructure", err)
+	}
+	inf := synthStructure("inf", 10, 4)
+	inf.Residues[0].CA[2] = math.Inf(1)
+	if err := ValidateStructure(inf); !errors.Is(err, ErrDegenerateStructure) {
+		t.Errorf("Inf coordinate: err = %v, want ErrDegenerateStructure", err)
+	}
+}
+
+func TestIsKernelError(t *testing.T) {
+	for _, s := range []error{
+		ErrDegenerateStructure,
+		geom.ErrPointMismatch, geom.ErrNoPoints,
+		tmscore.ErrAlignedLength, seqalign.ErrInvmapLength,
+	} {
+		if !IsKernelError(s) {
+			t.Errorf("sentinel %v not recognised as a kernel error", s)
+		}
+		// Wrapped forms — how the kernels actually panic.
+		if !IsKernelError(errorsWrap(s)) {
+			t.Errorf("wrapped sentinel %v not recognised", s)
+		}
+	}
+	if IsKernelError(errors.New("disk on fire")) {
+		t.Error("arbitrary error classified as a kernel error")
+	}
+	if IsKernelError(nil) {
+		t.Error("nil classified as a kernel error")
+	}
+}
+
+func errorsWrap(err error) error { return &wrapped{err} }
+
+type wrapped struct{ inner error }
+
+func (w *wrapped) Error() string { return "ctx: " + w.inner.Error() }
+func (w *wrapped) Unwrap() error { return w.inner }
+
+// TestTryCompareMatchesCompare: on valid input the boundary is
+// transparent — bit-identical result, nil error.
+func TestTryCompareMatchesCompare(t *testing.T) {
+	a := synthStructure("a", 40, 7)
+	b := synthStructure("b", 35, 8)
+	opt := FastOptions()
+	want := Compare(a, b, opt)
+	got, err := TryCompare(a, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TryCompare result differs from Compare:\n%v\n%v", got, want)
+	}
+}
+
+func TestTryCompareRejectsDegenerate(t *testing.T) {
+	good := synthStructure("good", 30, 9)
+	nan := synthStructure("bad", 30, 10)
+	nan.Residues[12].CA[0] = math.NaN()
+	for _, pair := range [][2]*pdb.Structure{{nan, good}, {good, nan}} {
+		r, err := TryCompare(pair[0], pair[1], DefaultOptions())
+		if r != nil || !errors.Is(err, ErrDegenerateStructure) {
+			t.Errorf("TryCompare(%s, %s) = %v, %v; want nil, ErrDegenerateStructure",
+				pair[0].ID, pair[1].ID, r, err)
+		}
+		if !IsKernelError(err) {
+			t.Errorf("degenerate-input error %v not classified as kernel error", err)
+		}
+	}
+}
+
+// TestTryCompareRepanicsOnBugs: a panic that does not wrap a kernel
+// sentinel must escape the boundary — masking genuine bugs as input
+// errors would hide real defects.
+func TestTryCompareRepanicsOnBugs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-kernel panic was swallowed")
+		}
+	}()
+	func() {
+		defer recoverKernel("x", "y", new(error))
+		panic(errors.New("genuine bug"))
+	}()
+}

@@ -1,6 +1,7 @@
 package tmscore
 
 import (
+	"fmt"
 	"math"
 
 	"rckalign/internal/costmodel"
@@ -101,7 +102,7 @@ func (g GDT) HA() float64 { return (g.P05 + g.P1 + g.P2 + g.P4) / 4 }
 // correspondence (x[i] matches y[i]). ops may be nil.
 func GDTScores(x, y []geom.Vec3, ops *costmodel.Counter) GDT {
 	if len(x) != len(y) {
-		panic("tmscore: GDT point sets differ in length")
+		panic(fmt.Errorf("%w (GDT: %d vs %d)", ErrAlignedLength, len(x), len(y)))
 	}
 	return GDT{
 		P05: fractionUnder(x, y, 0.5, ops),
@@ -120,7 +121,7 @@ func MaxSub(x, y []geom.Vec3, ops *costmodel.Counter) float64 {
 	const d = 3.5
 	n := len(x)
 	if n != len(y) {
-		panic("tmscore: MaxSub point sets differ in length")
+		panic(fmt.Errorf("%w (MaxSub: %d vs %d)", ErrAlignedLength, n, len(y)))
 	}
 	if n == 0 {
 		return 0

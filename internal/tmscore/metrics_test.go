@@ -1,6 +1,7 @@
 package tmscore
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -78,8 +79,10 @@ func TestGDTRandomModelLow(t *testing.T) {
 
 func TestMetricsPanicOnMismatch(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+		rec := recover()
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrAlignedLength) {
+			t.Errorf("panic value %v does not wrap ErrAlignedLength", rec)
 		}
 	}()
 	GDTScores(make([]geom.Vec3, 3), make([]geom.Vec3, 4), nil)

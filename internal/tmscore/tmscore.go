@@ -6,11 +6,19 @@
 package tmscore
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/geom"
 )
+
+// ErrAlignedLength reports aligned coordinate sets of different
+// lengths — a kernel precondition violation. Scoring panics with an
+// error wrapping this sentinel so a recovery boundary
+// (tmalign.TryCompare) can surface it as a caller-visible error.
+var ErrAlignedLength = errors.New("tmscore: aligned coordinate sets differ in length")
 
 // Params bundles the scoring parameters for one comparison, mirroring
 // TM-align's parameter_set4search / parameter_set4final.
@@ -137,7 +145,7 @@ const searchIterations = 20
 func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counter) (float64, geom.Transform) {
 	n := len(x)
 	if n != len(y) {
-		panic("tmscore: aligned coordinate sets differ in length")
+		panic(fmt.Errorf("%w (Search: %d vs %d)", ErrAlignedLength, n, len(y)))
 	}
 	if n == 0 {
 		return 0, geom.IdentityTransform()
@@ -231,7 +239,7 @@ func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counte
 // when it is set).
 func (p Params) ScoreWithTransform(x, y []geom.Vec3, tr geom.Transform, ops *costmodel.Counter) float64 {
 	if len(x) != len(y) {
-		panic("tmscore: aligned coordinate sets differ in length")
+		panic(fmt.Errorf("%w (ScoreWithTransform: %d vs %d)", ErrAlignedLength, len(x), len(y)))
 	}
 	d02 := p.D0 * p.D0
 	d8cut2 := p.ScoreD8 * p.ScoreD8

@@ -1,6 +1,7 @@
 package tmscore
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -195,8 +196,10 @@ func TestSearchTinyInputs(t *testing.T) {
 
 func TestSearchMismatchedPanic(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for mismatched lengths")
+		rec := recover()
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrAlignedLength) {
+			t.Errorf("panic value %v does not wrap ErrAlignedLength", rec)
 		}
 	}()
 	FinalParams(10).Search(make([]geom.Vec3, 3), make([]geom.Vec3, 4), 1, nil)
