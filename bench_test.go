@@ -21,6 +21,7 @@ import (
 	"rckalign/internal/experiments"
 	"rckalign/internal/mcpsc"
 	"rckalign/internal/pairstore"
+	"rckalign/internal/prune"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
 	"rckalign/internal/sim"
@@ -365,4 +366,45 @@ func BenchmarkPairCompare(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tmalign.Compare(x, y, opt)
 	}
+}
+
+// BenchmarkPairCompareFloat32 is BenchmarkPairCompare under the opt-in
+// float32 DP fast path (-float32).
+func BenchmarkPairCompareFloat32(b *testing.B) {
+	ds := synth.CK34()
+	x, y := ds.Structures[0], ds.Structures[1]
+	opt := tmalign.DefaultOptions()
+	opt.Float32 = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmalign.Compare(x, y, opt)
+	}
+}
+
+// BenchmarkPruneFilter measures the full pre-filter pass over CK34's 561
+// pairs (feature extraction amortised out), the cost -prune-tm pays to
+// skip kernel evaluations.
+func BenchmarkPruneFilter(b *testing.B) {
+	ds := synth.CK34()
+	feats := make([]prune.Features, ds.Len())
+	for i, s := range ds.Structures {
+		feats[i] = prune.Extract(s.CAs(), s.Sequence())
+	}
+	pairs := sched.AllVsAll(ds.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := prune.New(0.5)
+		skipped := 0
+		for _, p := range pairs {
+			if f.Skip(&feats[p.I], &feats[p.J]) {
+				skipped++
+			}
+		}
+		if skipped == 0 {
+			b.Fatal("filter skipped nothing")
+		}
+	}
+	b.ReportMetric(float64(len(pairs)), "pairs/op")
 }

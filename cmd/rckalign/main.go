@@ -25,6 +25,17 @@
 // moves host wall-clock time: simulated timings, reports, metrics and
 // -scores-out dumps are bit-identical for every N (0 = serial).
 //
+// -prune-tm T enables the opt-in similarity pre-filter (see
+// internal/prune): pairs whose conservative TM upper bound — derived
+// from chain lengths, secondary-structure composition and a cheap
+// sequence alignment — falls below T are skipped entirely, never
+// reaching the TM-align kernel, the farm or the -scores-out dump. At
+// T=0 (default) every pair is compared and output is byte-identical to
+// previous releases. -float32 switches the kernel's DP score matrix to
+// single-precision arithmetic (a measurable speedup on cache-bound
+// chains); superposition and TM-scores stay float64, but near-tied
+// alignment choices may drift, so it is off by default.
+//
 // -metrics-out dumps the run's metrics registry (counters, histograms,
 // time series from every simulation layer) as deterministic JSON;
 // -trace-out writes a Chrome trace-event file loadable in Perfetto
@@ -68,6 +79,7 @@ import (
 	"rckalign/internal/interchip"
 	"rckalign/internal/metrics"
 	"rckalign/internal/pairstore"
+	"rckalign/internal/prune"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/sched"
 	"rckalign/internal/stats"
@@ -96,6 +108,7 @@ type cliFlags struct {
 	Gather      string
 	Affinity    bool
 	FaultSpec   string
+	PruneTM     float64
 }
 
 // maxChips bounds -chips: beyond 64 chips the single root master is the
@@ -147,6 +160,9 @@ func validateFlags(f cliFlags) (sched.Order, interchip.Config, farm.GatherConfig
 	}
 	if f.HostPar < 0 {
 		return 0, icfg, gcfg, fmt.Errorf("-hostpar %d is negative (0 = serial host evaluation)", f.HostPar)
+	}
+	if f.PruneTM < 0 || f.PruneTM > 1 {
+		return 0, icfg, gcfg, fmt.Errorf("-prune-tm %g outside [0,1] (0 = no pruning)", f.PruneTM)
 	}
 	if f.Chips < 1 || f.Chips > maxChips {
 		return 0, icfg, gcfg, fmt.Errorf("-chips %d outside [1,%d]", f.Chips, maxChips)
@@ -203,6 +219,8 @@ func main() {
 	chips := flag.Int("chips", 1, "shard the pair matrix across this many SCC chips (1 = the classic single-chip run, byte-identical reports and scores)")
 	interchipSpec := flag.String("interchip", "", "inter-chip interconnect profile: board, cluster, ideal, or \"lat=S,bw=B[,recv=S][,ports=N]\" (empty = board; only meaningful with -chips > 1)")
 	gatherSpec := flag.String("gather", "", "multi-chip result gather topology: tree, tree:ARITY, or flat (empty = tree of arity 4; only meaningful with -chips > 1)")
+	pruneTM := flag.Float64("prune-tm", 0, "skip pairs whose conservative TM upper bound falls below this threshold (0 = compare every pair; pruned pairs are absent from -scores-out)")
+	float32Flag := flag.Bool("float32", false, "use the float32 DP-matrix fast path when (re)computing pair results (scores may drift on near-tied alignments; off = bit-exact float64)")
 	flag.Parse()
 
 	ord, icfg, gcfg, err := validateFlags(cliFlags{
@@ -211,6 +229,7 @@ func main() {
 		Polling: *polling, StructCache: *structCache, Batch: *batch,
 		Tile: *tile, HostPar: *hostpar, Chips: *chips, Interchip: *interchipSpec,
 		Gather: *gatherSpec, Affinity: *affinity, FaultSpec: *faultSpec,
+		PruneTM: *pruneTM,
 	})
 	if err != nil {
 		usageFatal(err)
@@ -224,9 +243,15 @@ func main() {
 	if *fast {
 		opt = tmalign.FastOptions()
 	}
+	opt.Float32 = *float32Flag
 	cachePath := ""
 	if *cacheDir != "" {
 		cachePath = filepath.Join(*cacheDir, ds.Name+".gob")
+		if *float32Flag {
+			// The float32 fast path may produce (slightly) different scores,
+			// so it must not share the float64 cache file.
+			cachePath = filepath.Join(*cacheDir, ds.Name+".f32.gob")
+		}
 	}
 	// -hostpar 0 means serial host evaluation; the store still memoizes.
 	workers := *hostpar
@@ -235,9 +260,23 @@ func main() {
 	}
 	store := pairstore.New(workers)
 	fmt.Fprintf(os.Stderr, "loading %s (%d chains, %d pairs)...\n", ds.Name, ds.Len(), ds.Pairs())
-	pr, err := core.ComputeOrLoadShared(ds, opt, cachePath, store)
-	if err != nil {
-		fatal(err)
+	var pr *core.PairResults
+	var pruneRep *prune.Report
+	if *pruneTM > 0 {
+		// Pruning changes the workload, so the full-matrix disk cache does
+		// not apply: survivors are computed through the (memoized) pair
+		// store and skipped pairs never reach the TM-align kernel.
+		kept, rep := core.PrunePairs(ds, *pruneTM)
+		pruneRep = rep
+		fmt.Fprintf(os.Stderr, "prune: %d of %d pairs below TM bound %g (%.1f%% skipped, filter cost %d DP cells)\n",
+			rep.Skipped, rep.Total, rep.Threshold, 100*rep.SkipFraction(), rep.DPCells)
+		pr = core.ComputePairsShared(ds, opt, store, kept)
+	} else {
+		var err error
+		pr, err = core.ComputeOrLoadShared(ds, opt, cachePath, store)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := core.DefaultConfig()
@@ -256,6 +295,7 @@ func main() {
 		cfg.FT.JobDeadlineSeconds = *deadline
 	}
 	cfg.Order = ord
+	cfg.Prune = pruneRep
 
 	baseline := pr.SerialSeconds(costmodel.P54C())
 	counts := []int{*slaves}

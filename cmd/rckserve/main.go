@@ -50,6 +50,7 @@ type cliFlags struct {
 	Workers   int
 	QueueCap  int
 	AccessLog string
+	PruneTM   float64
 }
 
 func validateFlags(f cliFlags) error {
@@ -68,6 +69,9 @@ func validateFlags(f cliFlags) error {
 	if f.QueueCap < 0 {
 		return fmt.Errorf("-queuecap %d: must be >= 0 (0 = default)", f.QueueCap)
 	}
+	if f.PruneTM < 0 || f.PruneTM > 1 {
+		return fmt.Errorf("-prune-tm %g: must be in [0,1] (0 = no pruning)", f.PruneTM)
+	}
 	if f.Dataset != "" {
 		if _, err := synth.ByName(f.Dataset); err != nil {
 			return err
@@ -85,11 +89,12 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent batch executors (0 = default 1)")
 	queueCap := flag.Int("queuecap", 0, "submission queue capacity (0 = default 4*batch)")
 	accessLog := flag.String("access-log", "", "append one JSON line per request to this file (\"-\" = stderr)")
+	pruneTM := flag.Float64("prune-tm", 0, "pre-filter /onevsall and /topk sweeps: skip pairs whose conservative TM upper bound is below this threshold (0 = off; /score is never pruned)")
 	flag.Parse()
 
 	f := cliFlags{Addr: *addr, Dataset: *dataset, Batch: *batch,
 		MaxWait: *maxWait, Workers: *workers, QueueCap: *queueCap,
-		AccessLog: *accessLog}
+		AccessLog: *accessLog, PruneTM: *pruneTM}
 	if err := validateFlags(f); err != nil {
 		usageFatal(err)
 	}
@@ -102,6 +107,7 @@ func main() {
 	cfg := server.Config{
 		Dataset: "serve",
 		Options: opt,
+		PruneTM: f.PruneTM,
 		Batch: batcher.Config{
 			BatchSize: f.Batch,
 			MaxWait:   f.MaxWait,

@@ -24,6 +24,7 @@ import (
 	"rckalign/internal/metrics"
 	"rckalign/internal/pairstore"
 	"rckalign/internal/pdb"
+	"rckalign/internal/prune"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
 	"rckalign/internal/sched"
@@ -99,7 +100,12 @@ func ComputeAllPairs(ds *synth.Dataset, opt tmalign.Options, parallelism int) *P
 // PairKeys returns the pairstore keys of the dataset's all-vs-all pairs
 // under the given TM-align options, aligned with sched.AllVsAll order.
 func PairKeys(ds *synth.Dataset, opt tmalign.Options) []pairstore.Key {
-	pairs := sched.AllVsAll(ds.Len())
+	return PairKeysFor(ds, opt, sched.AllVsAll(ds.Len()))
+}
+
+// PairKeysFor returns the pairstore keys of an explicit pair subset
+// (e.g. the survivors of PrunePairs), aligned with the given order.
+func PairKeysFor(ds *synth.Dataset, opt tmalign.Options, pairs []sched.Pair) []pairstore.Key {
 	kernel := opt.Key()
 	keys := make([]pairstore.Key, len(pairs))
 	for k, p := range pairs {
@@ -120,7 +126,15 @@ func PairKeys(ds *synth.Dataset, opt tmalign.Options) []pairstore.Key {
 // reused, so N configurations cost one native evaluation per pair
 // instead of N. A nil store computes serially with no memoization.
 func ComputeAllPairsShared(ds *synth.Dataset, opt tmalign.Options, store *pairstore.Store) *PairResults {
-	pairs := sched.AllVsAll(ds.Len())
+	return ComputePairsShared(ds, opt, store, sched.AllVsAll(ds.Len()))
+}
+
+// ComputePairsShared is ComputeAllPairsShared restricted to an explicit
+// pair subset: only the listed pairs are evaluated (natively, through
+// the store) and only they appear in the returned PairResults. This is
+// the compute path behind pruning — skipped pairs never reach the
+// TM-align kernel, the farm job builders, or the -scores-out dump.
+func ComputePairsShared(ds *synth.Dataset, opt tmalign.Options, store *pairstore.Store, pairs []sched.Pair) *PairResults {
 	pr := &PairResults{
 		Dataset: ds,
 		Pairs:   pairs,
@@ -130,7 +144,7 @@ func ComputeAllPairsShared(ds *synth.Dataset, opt tmalign.Options, store *pairst
 	for k, p := range pairs {
 		pr.index[p] = k
 	}
-	keys := PairKeys(ds, opt)
+	keys := PairKeysFor(ds, opt, pairs)
 	compute := func(k int) any {
 		p := pairs[k]
 		return tmalign.Compare(ds.Structures[p.I], ds.Structures[p.J], opt)
@@ -141,6 +155,31 @@ func ComputeAllPairsShared(ds *synth.Dataset, opt tmalign.Options, store *pairst
 		pr.Results[k] = store.Get(keys[k], func() any { return compute(k) }).(*tmalign.Result)
 	}
 	return pr
+}
+
+// PrunePairs applies the opt-in similarity pre-filter to the dataset's
+// all-vs-all pair list: per-structure features (length, secondary
+// structure composition, sequence) are extracted once, every pair's
+// conservative TM upper bound is evaluated, and pairs bounded below
+// threshold are dropped. The returned pair list (canonical order
+// preserved) feeds ComputePairsShared so skipped pairs never run the
+// TM-align kernel; the report carries the skip accounting for
+// farm.Report.Prune.
+func PrunePairs(ds *synth.Dataset, threshold float64) ([]sched.Pair, *prune.Report) {
+	f := prune.New(threshold)
+	feats := make([]prune.Features, ds.Len())
+	for i, s := range ds.Structures {
+		feats[i] = prune.Extract(s.CAs(), s.Sequence())
+	}
+	all := sched.AllVsAll(ds.Len())
+	kept := make([]sched.Pair, 0, len(all))
+	for _, p := range all {
+		if !f.Skip(&feats[p.I], &feats[p.J]) {
+			kept = append(kept, p)
+		}
+	}
+	rep := f.Report
+	return kept, &rep
 }
 
 // DeadlineMargin is the safety factor DeriveJobDeadline applies on top
@@ -277,6 +316,12 @@ type Config struct {
 	// is set). A zero JobDeadlineSeconds derives a deadline from the
 	// most expensive job in the workload (see DeriveJobDeadline).
 	FT rckskel.FTConfig
+	// Prune, when non-nil, is the pre-filter accounting of the pruning
+	// pass that produced the workload (see PrunePairs); the run attaches
+	// it to Report.Prune so reports carry the skip statistics. It does
+	// not itself filter anything — pass PrunePairs' survivors as the
+	// PairResults.
+	Prune *prune.Report
 }
 
 // DefaultConfig returns the paper's setup.
@@ -479,6 +524,7 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 		if err == nil {
 			err = farmErr
 		}
+		rep.Prune = cfg.Prune
 		return RunResult{Report: rep}, err
 	}
 	jobs, err := farm.BuildJobs(ordered, 0, pairBytes(lengths))
@@ -493,6 +539,7 @@ func Run(pr *PairResults, slaves int, cfg Config) (RunResult, error) {
 		m.Farm(jobs, nil)
 		m.Terminate()
 	})
+	rep.Prune = cfg.Prune
 	return RunResult{Report: rep}, err
 }
 

@@ -111,5 +111,6 @@ func runHierarchical(pr *PairResults, slaves int, cfg Config) (RunResult, error)
 		}
 	})
 	rep.FarmStats.MakespanSeconds = rep.TotalSeconds - rep.LoadSeconds
+	rep.Prune = cfg.Prune
 	return RunResult{Report: rep}, err
 }

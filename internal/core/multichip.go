@@ -194,6 +194,7 @@ func RunMultiChip(pr *PairResults, slavesPerChip int, cfg MultiChipConfig) (RunR
 			queues[c] = qs
 		}
 		rep, err := ms.RunAffinity(load, queues, shardBytes)
+		rep.Prune = cfg.Prune
 		return RunResult{Report: rep}, err
 	}
 
@@ -212,6 +213,7 @@ func RunMultiChip(pr *PairResults, slavesPerChip int, cfg MultiChipConfig) (RunR
 	}
 
 	rep, err := ms.Run(load, queues, shardBytes)
+	rep.Prune = cfg.Prune
 	return RunResult{Report: rep}, err
 }
 

@@ -180,6 +180,7 @@ func RunTiled(pr *PairResults, slaves int, cfg TiledConfig) (TiledRunResult, err
 	// The per-tile farms run back to back; the end-to-end wall clock is
 	// the meaningful makespan for the tiled schedule.
 	rep.FarmStats.MakespanSeconds = rep.TotalSeconds
+	rep.Prune = cfg.Prune
 	out.RunResult = RunResult{Report: rep}
 	return out, err
 }

@@ -28,6 +28,7 @@ import (
 	"rckalign/internal/fault"
 	"rckalign/internal/interchip"
 	"rckalign/internal/metrics"
+	"rckalign/internal/prune"
 	"rckalign/internal/rcce"
 	"rckalign/internal/rckskel"
 	"rckalign/internal/scc"
@@ -213,6 +214,10 @@ type Report struct {
 	// Interchip summarises the board-level interconnect traffic of a
 	// multi-chip run (nil otherwise).
 	Interchip *InterchipReport
+	// Prune summarises the opt-in pre-filter that removed pairs from the
+	// workload before farming (nil when pruning was off): pairs examined
+	// and skipped, the bound distribution and the filter's own DP cost.
+	Prune *prune.Report
 }
 
 // ChipReport is one chip's slice of a multi-chip Report.

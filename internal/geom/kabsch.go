@@ -36,24 +36,51 @@ func Superpose(p, q []Vec3) (Transform, float64) {
 	if n == 0 {
 		panic(fmt.Errorf("%w (Superpose)", ErrNoPoints))
 	}
-	cp := Centroid(p)
-	cq := Centroid(q)
+	// Centroids, accumulated axis-wise in Centroid's summation order so
+	// the scalar loop is bit-identical to Centroid(p)/Centroid(q).
+	q = q[:n]
+	var cpx, cpy, cpz, cqx, cqy, cqz float64
+	for i := 0; i < n; i++ {
+		a, b := &p[i], &q[i]
+		cpx += a[0]
+		cpy += a[1]
+		cpz += a[2]
+		cqx += b[0]
+		cqy += b[1]
+		cqz += b[2]
+	}
+	inv := 1 / float64(n)
+	cpx *= inv
+	cpy *= inv
+	cpz *= inv
+	cqx *= inv
+	cqy *= inv
+	cqz *= inv
 
 	// Covariance matrix S = sum (p_i - cp) (q_i - cq)^T and the squared
-	// spreads, accumulated in one pass.
-	var s Mat3
+	// spreads, accumulated in one pass. The nine matrix entries are
+	// unrolled into scalar accumulators (each an independent addition
+	// chain in the original's order, so sums are bit-identical) to keep
+	// the hot loop free of array indexing.
+	var s00, s01, s02, s10, s11, s12, s20, s21, s22 float64
 	var ep, eq float64 // sum |p_i - cp|^2, sum |q_i - cq|^2
 	for i := 0; i < n; i++ {
-		a := p[i].Sub(cp)
-		b := q[i].Sub(cq)
-		ep += a.Norm2()
-		eq += b.Norm2()
-		for r := 0; r < 3; r++ {
-			for c := 0; c < 3; c++ {
-				s[r][c] += a[r] * b[c]
-			}
-		}
+		pi, qi := &p[i], &q[i]
+		ax, ay, az := pi[0]-cpx, pi[1]-cpy, pi[2]-cpz
+		bx, by, bz := qi[0]-cqx, qi[1]-cqy, qi[2]-cqz
+		ep += ax*ax + ay*ay + az*az
+		eq += bx*bx + by*by + bz*bz
+		s00 += ax * bx
+		s01 += ax * by
+		s02 += ax * bz
+		s10 += ay * bx
+		s11 += ay * by
+		s12 += ay * bz
+		s20 += az * bx
+		s21 += az * by
+		s22 += az * bz
 	}
+	s := Mat3{{s00, s01, s02}, {s10, s11, s12}, {s20, s21, s22}}
 
 	// Horn's symmetric 4x4 key matrix.
 	k := [4][4]float64{
@@ -74,7 +101,7 @@ func Superpose(p, q []Vec3) (Transform, float64) {
 	rmsd := math.Sqrt(e / float64(n))
 
 	t := Transform{R: r}
-	t.T = cq.Sub(r.MulVec(cp))
+	t.T = Vec3{cqx, cqy, cqz}.Sub(r.MulVec(Vec3{cpx, cpy, cpz}))
 	return t, rmsd
 }
 

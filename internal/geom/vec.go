@@ -176,9 +176,26 @@ func (t Transform) Apply(v Vec3) Vec3 { return t.R.MulVec(v).Add(t.T) }
 
 // ApplyAll maps pts through the transform into dst, which must have the
 // same length as pts (dst may alias pts).
+//
+// The rotation and translation are hoisted into scalars and dst is
+// re-sliced to the input length so the inner loop runs without struct
+// copies or bounds checks; the per-component arithmetic is evaluated in
+// exactly Apply's order, so results are bit-identical to mapping Apply
+// over pts.
 func (t Transform) ApplyAll(dst, pts []Vec3) {
-	for i, p := range pts {
-		dst[i] = t.Apply(p)
+	r00, r01, r02 := t.R[0][0], t.R[0][1], t.R[0][2]
+	r10, r11, r12 := t.R[1][0], t.R[1][1], t.R[1][2]
+	r20, r21, r22 := t.R[2][0], t.R[2][1], t.R[2][2]
+	tx, ty, tz := t.T[0], t.T[1], t.T[2]
+	dst = dst[:len(pts)]
+	for i := range pts {
+		p := &pts[i]
+		x, y, z := p[0], p[1], p[2]
+		dst[i] = Vec3{
+			r00*x + r01*y + r02*z + tx,
+			r10*x + r11*y + r12*z + ty,
+			r20*x + r21*y + r22*z + tz,
+		}
 	}
 }
 

@@ -25,19 +25,25 @@ func (a *Aligner) AlignAffine(len1, len2 int, score Scorer, gapOpen, gapExtend f
 	n := (len1 + 1) * cols
 
 	// M: best ending in a match; X: gap in chain 2 (consuming chain 1);
-	// Y: gap in chain 1 (consuming chain 2).
-	m := make([]float64, n)
-	x := make([]float64, n)
-	y := make([]float64, n)
+	// Y: gap in chain 1 (consuming chain 2). The six tables live on the
+	// Aligner so repeated calls reuse them.
+	a.am = growSlice(a.am, n)
+	a.ax = growSlice(a.ax, n)
+	a.ay = growSlice(a.ay, n)
+	a.atm = growSlice(a.atm, n)
+	a.atx = growSlice(a.atx, n)
+	a.aty = growSlice(a.aty, n)
+	m, x, y := a.am, a.ax, a.ay
 	// Tracebacks: which matrix each cell's best predecessor lives in.
 	const (
 		fromM = 1
 		fromX = 2
 		fromY = 3
 	)
-	tm := make([]int8, n)
-	tx := make([]int8, n)
-	ty := make([]int8, n)
+	// No clearing needed: the init loops rewrite the borders and the fill
+	// rewrites every interior cell, which together cover every cell the
+	// traceback can read.
+	tm, tx, ty := a.atm, a.atx, a.aty
 
 	m[0] = 0
 	x[0], y[0] = negInf, negInf

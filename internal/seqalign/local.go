@@ -23,19 +23,20 @@ type LocalResult struct {
 func (a *Aligner) AlignLocal(len1, len2 int, score Scorer, gap float64, ops *costmodel.Counter) LocalResult {
 	cols := len2 + 1
 	n := (len1 + 1) * cols
-	if cap(a.val) < n {
-		a.val = make([]float64, n)
-		a.path = make([]bool, n)
-	}
-	val := a.val[:n]
+	a.val = growSlice(a.val, n)
+	a.path = growSlice(a.path, n)
+	val := a.val
 	for j := 0; j <= len2; j++ {
 		val[j] = 0
 	}
 	for i := 0; i <= len1; i++ {
 		val[i*cols] = 0
 	}
-	// dir: 0 stop, 1 diag, 2 up (gap in 2), 3 left (gap in 1).
-	dir := make([]int8, n)
+	// dir: 0 stop, 1 diag, 2 up (gap in 2), 3 left (gap in 1). Reused
+	// across calls without clearing: the fill writes every interior cell
+	// and the traceback never reads border cells.
+	a.dir = growSlice(a.dir, n)
+	dir := a.dir
 
 	best := 0.0
 	bi, bj := 0, 0

@@ -30,20 +30,37 @@ type Aligner struct {
 	val  []float64 // (len1+1) x (len2+1) DP values, row-major
 	path []bool    // true = cell reached by a diagonal (match) move
 	cols int
+
+	// Affine (Gotoh) DP state, lazily sized by AlignAffine.
+	am, ax, ay    []float64
+	atm, atx, aty []int8
+
+	// Smith-Waterman traceback directions, lazily sized by AlignLocal.
+	dir []int8
 }
 
 // NewAligner returns an Aligner with no pre-allocated capacity; buffers
 // grow on first use.
 func NewAligner() *Aligner { return &Aligner{} }
 
+// growSlice extends s to length n, reallocating geometrically (at least
+// 2x the previous capacity) so a sequence of calls with ascending sizes
+// amortises to O(1) reallocations instead of one per new maximum.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	return make([]T, n, c)
+}
+
 func (a *Aligner) grow(len1, len2 int) {
 	n := (len1 + 1) * (len2 + 1)
-	if cap(a.val) < n {
-		a.val = make([]float64, n)
-		a.path = make([]bool, n)
-	}
-	a.val = a.val[:n]
-	a.path = a.path[:n]
+	a.val = growSlice(a.val, n)
+	a.path = growSlice(a.path, n)
 	a.cols = len2 + 1
 }
 
@@ -101,6 +118,86 @@ func (a *Aligner) Align(len1, len2 int, score Scorer, gapOpen float64, invmap []
 	}
 	ops.AddDP(len1 * len2)
 
+	a.traceback(len1, len2, gapOpen, invmap)
+}
+
+// AlignMatrix is Align over a dense row-major len1 x len2 score matrix
+// instead of a Scorer callback. It produces exactly the same alignment
+// and DP values as Align with score(i, j) = mat[i*len2+j]; the inner
+// loop reads the matrix row directly and carries the left/diagonal DP
+// cells in registers, so per-cell work has no function call, no
+// multiplication for indexing and no bounds checks. This is the hot
+// path of the TM-align DP refinement loop, where the score matrix is
+// precomputed from distances anyway.
+func (a *Aligner) AlignMatrix(len1, len2 int, mat []float64, gapOpen float64, invmap []int, ops *costmodel.Counter) {
+	if len(invmap) != len2 {
+		panic(fmt.Errorf("%w (AlignMatrix: %d vs %d)", ErrInvmapLength, len(invmap), len2))
+	}
+	if len1 > 0 && len2 > 0 {
+		_ = mat[len1*len2-1] // one bounds check up front for the whole fill
+	}
+	a.grow(len1, len2)
+	cols := a.cols
+	val, path := a.val, a.path
+
+	for i := 0; i <= len1; i++ {
+		val[i*cols] = 0
+		path[i*cols] = false
+	}
+	for j := 0; j <= len2; j++ {
+		val[j] = 0
+		path[j] = false
+	}
+
+	for i := 1; i <= len1; i++ {
+		rowVal := val[i*cols : i*cols+cols]
+		rowPath := path[i*cols : i*cols+cols]
+		prevVal := val[(i-1)*cols : i*cols]
+		prevPath := path[(i-1)*cols : i*cols]
+		srow := mat[(i-1)*len2 : (i-1)*len2+len2]
+		vdiag := prevVal[0] // val[prev + (j-1)]
+		vleft := rowVal[0]  // val[row + (j-1)]
+		pleft := rowPath[0]
+		for j := 1; j <= len2; j++ {
+			d := vdiag + srow[j-1]
+			h := prevVal[j]
+			if prevPath[j] {
+				h += gapOpen
+			}
+			v := vleft
+			if pleft {
+				v += gapOpen
+			}
+			var cur float64
+			var curDiag bool
+			if d >= h && d >= v {
+				curDiag = true
+				cur = d
+			} else {
+				if v >= h {
+					cur = v
+				} else {
+					cur = h
+				}
+			}
+			rowVal[j] = cur
+			rowPath[j] = curDiag
+			vdiag = prevVal[j]
+			vleft = cur
+			pleft = curDiag
+		}
+	}
+	ops.AddDP(len1 * len2)
+
+	a.traceback(len1, len2, gapOpen, invmap)
+}
+
+// traceback recovers the NWDP_TM alignment from the filled val/path
+// tables into invmap (shared by Align and AlignMatrix; tie-breaking
+// prefers the diagonal, then the vertical move, as in the reference).
+func (a *Aligner) traceback(len1, len2 int, gapOpen float64, invmap []int) {
+	cols := a.cols
+	val, path := a.val, a.path
 	for j := range invmap {
 		invmap[j] = -1
 	}
@@ -184,11 +281,27 @@ func IsMonotonic(invmap []int, len1 int) bool {
 // chain of len1 against a chain of len2 and calls visit with each offset's
 // overlap range. For offset k, chain-2 position j aligns to chain-1
 // position j+k for j in [lo, hi). Offsets run from -(len2-minOverlap) to
-// len1-minOverlap so every alignment has at least minOverlap pairs.
+// len1-minOverlap, and every visited alignment has at least minOverlap
+// pairs.
+//
+// When minOverlap exceeds min(len1, len2), no diagonal of the two chains
+// can contain minOverlap pairs, so visit is deliberately never called —
+// the offset range formula alone would still enumerate offsets (it only
+// guarantees each chain individually spans minOverlap positions, not
+// that their overlap does), so this case returns early. Callers probing
+// with a fixed fragment length rely on this zero-visit contract for
+// chains shorter than the fragment.
 func GaplessThreading(len1, len2, minOverlap int, visit func(k, lo, hi int)) {
 	if minOverlap < 1 {
 		minOverlap = 1
 	}
+	if minOverlap > len1 || minOverlap > len2 {
+		return
+	}
+	// Within the offset range the overlap window [lo, hi) always holds at
+	// least minOverlap pairs (min(len1-k, len2+k, len1, len2) >= minOverlap
+	// follows from the range bounds); the guard below is kept as a
+	// defensive invariant check only.
 	for k := -(len2 - minOverlap); k <= len1-minOverlap; k++ {
 		lo := 0
 		if k < 0 {

@@ -50,6 +50,7 @@ import (
 	"rckalign/internal/metrics"
 	"rckalign/internal/pairstore"
 	"rckalign/internal/pdb"
+	"rckalign/internal/prune"
 	"rckalign/internal/tmalign"
 )
 
@@ -83,6 +84,14 @@ type Config struct {
 	// timing breakdown, batch size/trigger and memo hit/miss counts.
 	// Writes are serialized by the server.
 	AccessLog io.Writer
+	// PruneTM, when positive, pre-filters /onevsall and /topk sweeps
+	// with the internal/prune similarity bound: pairs whose conservative
+	// TM upper bound falls below the threshold are never submitted to
+	// the coalescer and are absent from the response rows (their pruned
+	// count is reported instead). Explicit /score requests are never
+	// pruned — a directly asked-for pair always gets the exact kernel
+	// answer.
+	PruneTM float64
 }
 
 // pairJob is one canonical pair evaluation: a is the structure with the
@@ -132,6 +141,13 @@ type Server struct {
 	// logging is off).
 	accessMu  sync.Mutex
 	accessLog io.Writer
+
+	// pruneMu guards the pre-filter state: the prune.Filter owns DP
+	// scratch (not safe for concurrent use) and the features cache is a
+	// plain map. Both are nil when pruning is off.
+	pruneMu    sync.Mutex
+	pruneF     *prune.Filter
+	pruneFeats map[*pdb.Structure]*prune.Features
 }
 
 // endpoints instrumented with latency histograms, in /statsz order.
@@ -155,6 +171,10 @@ func New(cfg Config) *Server {
 	}
 	if s.store == nil && !cfg.DisableMemo {
 		s.store = pairstore.New(0)
+	}
+	if cfg.PruneTM > 0 {
+		s.pruneF = prune.New(cfg.PruneTM)
+		s.pruneFeats = map[*pdb.Structure]*prune.Features{}
 	}
 	bcfg := cfg.Batch
 	bcfg.OnFlush = func(size int, trigger batcher.Trigger) {
@@ -601,13 +621,14 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 // oneVsAll resolves the target, expands it against every other stored
-// structure (snapshot at request time), and runs the pairs through the
-// coalescer under the given request ID. Rows come back sorted by
-// canonical pair.
-func (s *Server) oneVsAll(req, targetID string) (int, []pairJob, []batcher.Result[pairOut], error) {
+// structure (snapshot at request time), applies the optional prune
+// pre-filter, and runs the surviving pairs through the coalescer under
+// the given request ID. Rows come back sorted by canonical pair; the
+// int alongside them counts pairs the pre-filter removed.
+func (s *Server) oneVsAll(req, targetID string) (int, []pairJob, []batcher.Result[pairOut], int, error) {
 	ti, _, err := s.db.Lookup(targetID)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, 0, err
 	}
 	structs := s.db.Snapshot()
 	jobs := make([]pairJob, 0, len(structs)-1)
@@ -617,19 +638,49 @@ func (s *Server) oneVsAll(req, targetID string) (int, []pairJob, []batcher.Resul
 		}
 		jobs = append(jobs, canonicalJob(req, ti, structs[ti], o, st))
 	}
+	pruned := 0
+	if s.pruneF != nil {
+		s.pruneMu.Lock()
+		kept := jobs[:0]
+		for _, j := range jobs {
+			if s.pruneF.Skip(s.featuresOfLocked(j.a), s.featuresOfLocked(j.b)) {
+				pruned++
+				continue
+			}
+			kept = append(kept, j)
+		}
+		s.pruneMu.Unlock()
+		jobs = kept
+		if pruned > 0 {
+			s.metricsMu.Lock()
+			s.reg.Counter("server.pruned_pairs").Add(float64(pruned))
+			s.metricsMu.Unlock()
+		}
+	}
 	results, err := s.bat.SubmitAll(jobs)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, pruned, err
 	}
 	for _, r := range results {
 		if r.Err != nil {
-			return 0, nil, nil, r.Err
+			return 0, nil, nil, pruned, r.Err
 		}
 		if r.Value.err != nil {
-			return 0, nil, nil, r.Value.err
+			return 0, nil, nil, pruned, r.Value.err
 		}
 	}
-	return ti, jobs, results, nil
+	return ti, jobs, results, pruned, nil
+}
+
+// featuresOfLocked returns the cached prune features of a stored
+// structure, extracting them on first use. Callers hold pruneMu.
+func (s *Server) featuresOfLocked(st *pdb.Structure) *prune.Features {
+	if f, ok := s.pruneFeats[st]; ok {
+		return f
+	}
+	f := prune.Extract(st.CAs(), st.Sequence())
+	s.pruneFeats[st] = &f
+	return &f
 }
 
 // recordItems folds a multi-pair request's batcher results into the
@@ -668,6 +719,9 @@ type OneVsAllResponse struct {
 	// MemoHits/MemoMisses count this request's pairs by memo outcome.
 	MemoHits   int `json:"memo_hits"`
 	MemoMisses int `json:"memo_misses"`
+	// Pruned counts pairs the similarity pre-filter removed before
+	// compute (0 unless the server runs with Config.PruneTM > 0).
+	Pruned int `json:"pruned"`
 	// Workers lists the distinct batch workers that computed this
 	// request's pairs, ascending.
 	Workers []int `json:"workers"`
@@ -695,7 +749,7 @@ func (s *Server) handleOneVsAll(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusBadRequest, errors.New("need target= structure id"))
 		return
 	}
-	ti, jobs, results, err := s.oneVsAll(info.id, targetID)
+	ti, jobs, results, pruned, err := s.oneVsAll(info.id, targetID)
 	if err != nil {
 		s.failErr(w, r, err)
 		return
@@ -715,6 +769,7 @@ func (s *Server) handleOneVsAll(w http.ResponseWriter, r *http.Request) {
 	maxT := recordItems(info, results)
 	resp.MaxTiming = timingOf(maxT)
 	resp.MemoHits, resp.MemoMisses = info.memoHit, info.memoMiss
+	resp.Pruned = pruned
 	resp.Workers = distinctWorkers(results)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -748,7 +803,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ti, jobs, results, err := s.oneVsAll(info.id, targetID)
+	ti, jobs, results, pruned, err := s.oneVsAll(info.id, targetID)
 	if err != nil {
 		s.failErr(w, r, err)
 		return
@@ -788,7 +843,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		MaxTiming  TimingBreakdown `json:"max_timing"`
 		MemoHits   int             `json:"memo_hits"`
 		MemoMisses int             `json:"memo_misses"`
-	}{targetID, ti, k, info.id, neighbors[:k], timingOf(maxT), info.memoHit, info.memoMiss})
+		Pruned     int             `json:"pruned"`
+	}{targetID, ti, k, info.id, neighbors[:k], timingOf(maxT), info.memoHit, info.memoMiss, pruned})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

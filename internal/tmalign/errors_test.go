@@ -107,6 +107,40 @@ func TestTryCompareRejectsDegenerate(t *testing.T) {
 	}
 }
 
+// TestTryCompareMinimumChain drives the full kernel at the smallest
+// input ValidateStructure admits (3 residues): the seed ladder, the DP
+// refinement and the final scoring must all cope with chains shorter
+// than every initial-alignment fragment length, under both kernel
+// profiles and for asymmetric length combinations.
+func TestTryCompareMinimumChain(t *testing.T) {
+	tiny := synthStructure("tiny", 3, 11)
+	small := synthStructure("small", 5, 12)
+	big := synthStructure("big", 60, 13)
+	for _, opt := range []Options{DefaultOptions(), FastOptions()} {
+		for _, pair := range [][2]*pdb.Structure{{tiny, tiny}, {tiny, small}, {tiny, big}, {big, tiny}} {
+			r, err := TryCompare(pair[0], pair[1], opt)
+			if err != nil {
+				t.Fatalf("TryCompare(%s, %s): %v", pair[0].ID, pair[1].ID, err)
+			}
+			if r.TM1 < 0 || r.TM1 > 1+1e-9 || r.TM2 < 0 || r.TM2 > 1+1e-9 {
+				t.Errorf("TryCompare(%s, %s): TM out of range: %v / %v",
+					pair[0].ID, pair[1].ID, r.TM1, r.TM2)
+			}
+			if !seqalign.IsMonotonic(r.Invmap, r.Len1) {
+				t.Errorf("TryCompare(%s, %s): non-monotonic invmap", pair[0].ID, pair[1].ID)
+			}
+		}
+	}
+	// Self comparison of the minimal chain is a perfect match.
+	r, err := TryCompare(tiny, tiny, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TM1 < 0.99 || r.AlignedLen != 3 {
+		t.Errorf("3-residue self comparison: TM1 %v aligned %d, want ~1 and 3", r.TM1, r.AlignedLen)
+	}
+}
+
 // TestTryCompareRepanicsOnBugs: a panic that does not wrap a kernel
 // sentinel must escape the boundary — masking genuine bugs as input
 // errors would hide real defects.

@@ -1,0 +1,125 @@
+package tmalign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rckalign/internal/geom"
+	"rckalign/internal/synth"
+)
+
+// TestFloat32OptionsKey pins the cache-key contract of the fast path:
+// float32 runs get a distinct kernel key (so memoized results and disk
+// caches never mix precisions), while the default key is unchanged from
+// the pre-float32 era (committed caches stay valid).
+func TestFloat32OptionsKey(t *testing.T) {
+	def := DefaultOptions()
+	f32 := def
+	f32.Float32 = true
+	if def.Key() == f32.Key() {
+		t.Fatalf("float32 options share the default key %q", def.Key())
+	}
+	if got := f32.Key(); got != def.Key()+":f32" {
+		t.Errorf("float32 key = %q, want default key + \":f32\"", got)
+	}
+}
+
+// TestFloat32DriftOnCK34 is the golden drift report for the opt-in
+// float32 DP fast path: over a CK34 subset it quantifies how far the
+// reduced-precision score matrices move the final (float64-scored)
+// results. The final TM-scores are always computed in float64 — only
+// the initial-alignment DP matrices narrow — so drift appears only when
+// a near-tie in the DP flips an alignment decision. The bounds are
+// deliberately loose upper limits; the log line is the actual report.
+func TestFloat32DriftOnCK34(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compares a 12-structure CK34 subset under two precisions")
+	}
+	ds := synth.CK34()
+	const n = 12 // 66 pairs: every family pairing is represented
+	optF64 := DefaultOptions()
+	optF32 := DefaultOptions()
+	optF32.Float32 = true
+
+	var maxDrift float64
+	drifted := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			r64 := Compare(ds.Structures[i], ds.Structures[j], optF64)
+			r32 := Compare(ds.Structures[i], ds.Structures[j], optF32)
+			d := math.Max(math.Abs(r64.TM1-r32.TM1), math.Abs(r64.TM2-r32.TM2))
+			if d > maxDrift {
+				maxDrift = d
+			}
+			if d != 0 {
+				drifted++
+			}
+			// The ops charge must be identical: the float32 path changes
+			// arithmetic, not the amount of simulated work.
+			if r64.Ops.DPCells != r32.Ops.DPCells || r64.Ops.ScoreEvals != r32.Ops.ScoreEvals {
+				t.Errorf("pair %d/%d: float32 changed the ops charge: DP %d vs %d, score %d vs %d",
+					i, j, r64.Ops.DPCells, r32.Ops.DPCells, r64.Ops.ScoreEvals, r32.Ops.ScoreEvals)
+			}
+		}
+	}
+	t.Logf("float32 drift over %d pairs: max |dTM| = %.2e, %d pairs drifted at all", pairs, maxDrift, drifted)
+	if maxDrift > 0.01 {
+		t.Errorf("max float32 TM drift %.4f exceeds 0.01 — the fast path is no longer near-exact", maxDrift)
+	}
+}
+
+// TestFillDistMatrix32UsesSinglePrecision proves the Float32 option
+// actually reaches the narrow arithmetic (a regression here would make
+// the drift test above pass vacuously): the float32 fill's cells are
+// exactly the widened single-precision results, and on random inputs at
+// least some cells differ from the float64 fill in the low bits.
+func TestFillDistMatrix32UsesSinglePrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := make([]geom.Vec3, 20)
+	y := make([]geom.Vec3, 25)
+	for i := range x {
+		x[i] = geom.V(rng.NormFloat64()*20, rng.NormFloat64()*20, rng.NormFloat64()*20)
+	}
+	for j := range y {
+		y[j] = geom.V(rng.NormFloat64()*20, rng.NormFloat64()*20, rng.NormFloat64()*20)
+	}
+	c := newCtx(t, x, y)
+	c.w.Reserve32(len(y))
+	for j := range y {
+		c.w.YX32[j] = float32(y[j][0])
+		c.w.YY32[j] = float32(y[j][1])
+		c.w.YZ32[j] = float32(y[j][2])
+	}
+	const d2 = 17.5
+	c.fillDistMatrix(x, d2, false)
+	f64 := append([]float64(nil), c.scoreMat...)
+
+	c.opt.Float32 = true
+	c.fillDistMatrix(x, d2, false)
+
+	differ := 0
+	for i := range x {
+		for j := range y {
+			got := c.scoreMat[i*len(y)+j]
+			dx := float32(x[i][0]) - float32(y[j][0])
+			dy := float32(x[i][1]) - float32(y[j][1])
+			dz := float32(x[i][2]) - float32(y[j][2])
+			want := float64(1 / (1 + (dx*dx+dy*dy+dz*dz)/float32(d2)))
+			if got != want {
+				t.Fatalf("cell (%d,%d) = %v, want the widened float32 value %v", i, j, got, want)
+			}
+			if got != f64[i*len(y)+j] {
+				differ++
+			}
+			if math.Abs(got-f64[i*len(y)+j]) > 1e-5 {
+				t.Fatalf("cell (%d,%d): float32 %v too far from float64 %v", i, j, got, f64[i*len(y)+j])
+			}
+		}
+	}
+	if differ == 0 {
+		t.Error("float32 fill produced bit-identical cells to float64 on random inputs — is the narrow path wired?")
+	}
+}

@@ -7,9 +7,9 @@ import (
 )
 
 // initialGapless is TM-align's get_initial: try every diagonal (ungapped)
-// offset of the two chains, rank with the fast score, and return the best
-// as a fresh invmap.
-func (c *ctx) initialGapless() []int {
+// offset of the two chains, rank with the fast score, and write the best
+// into dst (all -1 when no offset qualifies).
+func (c *ctx) initialGapless(dst []int) {
 	minLen := c.xlen
 	if c.ylen < minLen {
 		minLen = c.ylen
@@ -18,7 +18,9 @@ func (c *ctx) initialGapless() []int {
 	if minAli < 5 {
 		minAli = 5
 	}
-	best := emptyInvmap(c.ylen)
+	for j := range dst {
+		dst[j] = -1
+	}
 	bestScore := -1.0
 	seqalign.GaplessThreading(c.xlen, c.ylen, minAli, func(k, lo, hi int) {
 		for j := range c.invTmp {
@@ -29,10 +31,9 @@ func (c *ctx) initialGapless() []int {
 		}
 		if s := c.scoreFast(c.invTmp); s > bestScore {
 			bestScore = s
-			copy(best, c.invTmp)
+			copy(dst, c.invTmp)
 		}
 	})
-	return best
 }
 
 // initialSS is get_initial_ss: Needleman-Wunsch over the secondary
@@ -72,16 +73,9 @@ func (c *ctx) initialLocal(invmap []int) bool {
 			c.ops.AddKabsch(frag)
 			tr.ApplyAll(xt, c.x)
 			c.ops.AddRotate(c.xlen)
-			for ii := 0; ii < c.xlen; ii++ {
-				row := ii * c.ylen
-				for jj := 0; jj < c.ylen; jj++ {
-					c.scoreMat[row+jj] = 1 / (1 + xt[ii].Dist2(c.y[jj])/d012)
-				}
-			}
+			c.fillDistMatrix(xt, d012, false)
 			c.ops.AddScore(c.xlen * c.ylen)
-			c.nw.Align(c.xlen, c.ylen, func(a, b int) float64 {
-				return c.scoreMat[a*c.ylen+b]
-			}, 0, c.invTmp, c.ops)
+			c.nw.AlignMatrix(c.xlen, c.ylen, c.scoreMat, 0, c.invTmp, c.ops)
 			if s := c.scoreFast(c.invTmp); s > bestScore {
 				bestScore = s
 				copy(invmap, c.invTmp)
@@ -100,20 +94,9 @@ func (c *ctx) initialSSPlus(invmap []int, tr geom.Transform) {
 	xt := c.xt[:c.xlen]
 	tr.ApplyAll(xt, c.x)
 	c.ops.AddRotate(c.xlen)
-	for i := 0; i < c.xlen; i++ {
-		row := i * c.ylen
-		for j := 0; j < c.ylen; j++ {
-			s := 1 / (1 + xt[i].Dist2(c.y[j])/d02)
-			if c.sec1[i] == c.sec2[j] {
-				s += 0.5
-			}
-			c.scoreMat[row+j] = s
-		}
-	}
+	c.fillDistMatrix(xt, d02, true)
 	c.ops.AddScore(c.xlen * c.ylen)
-	c.nw.Align(c.xlen, c.ylen, func(a, b int) float64 {
-		return c.scoreMat[a*c.ylen+b]
-	}, -1, invmap, c.ops)
+	c.nw.AlignMatrix(c.xlen, c.ylen, c.scoreMat, -1, invmap, c.ops)
 }
 
 // initialFragment is a compact form of get_initial_fgt (fragment gapless

@@ -5,6 +5,7 @@ import (
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/geom"
+	"rckalign/internal/kernel"
 	"rckalign/internal/seqalign"
 	"rckalign/internal/ss"
 	"rckalign/internal/synth"
@@ -15,13 +16,15 @@ import (
 // white-box testing of the initial alignment generators.
 func newCtx(t *testing.T, x, y []geom.Vec3) *ctx {
 	t.Helper()
+	w := new(kernel.Workspace)
 	c := &ctx{
 		x: x, y: y,
 		xlen: len(x), ylen: len(y),
 		sp:  tmscore.SearchParams(len(x), len(y)),
 		opt: DefaultOptions(),
-		nw:  seqalign.NewAligner(),
+		nw:  w.Aligner(),
 		ops: &costmodel.Counter{},
+		w:   w,
 	}
 	c.sec1 = ss.Assign(x)
 	c.sec2 = ss.Assign(y)
@@ -29,15 +32,20 @@ func newCtx(t *testing.T, x, y []geom.Vec3) *ctx {
 	if c.ylen > n {
 		n = c.ylen
 	}
-	c.r1 = make([]geom.Vec3, n)
-	c.r2 = make([]geom.Vec3, n)
-	c.xtm = make([]geom.Vec3, n)
-	c.ytm = make([]geom.Vec3, n)
-	c.xt = make([]geom.Vec3, n)
-	c.dis2 = make([]float64, n)
-	c.invTmp = make([]int, c.ylen)
-	c.invBest = make([]int, c.ylen)
-	c.scoreMat = make([]float64, c.xlen*c.ylen)
+	w.ReservePairs(n)
+	w.ReserveMat(c.xlen * c.ylen)
+	c.r1 = w.R1[:n]
+	c.r2 = w.R2[:n]
+	c.xtm = w.PairX[:n]
+	c.ytm = w.PairY[:n]
+	c.xt = w.PairT[:n]
+	c.dis2 = w.Dis2[:n]
+	c.invTmp = w.InvTmp[:c.ylen]
+	c.scoreMat = w.Mat[:c.xlen*c.ylen]
+	for j := 0; j < c.ylen; j++ {
+		p := &y[j]
+		w.YX[j], w.YY[j], w.YZ[j] = p[0], p[1], p[2]
+	}
 	return c
 }
 
@@ -66,7 +74,8 @@ func TestInitialGaplessFindsShift(t *testing.T) {
 	x := testProtein(90, 1)
 	y := shiftedCopy(x, 7) // y[j] corresponds to x[j+7]
 	c := newCtx(t, x, y)
-	inv := c.initialGapless()
+	inv := make([]int, len(y))
+	c.initialGapless(inv)
 	// The winning diagonal must be k=7: most aligned js map to j+7.
 	hits := 0
 	for j, i := range inv {

@@ -13,7 +13,7 @@ func (c *ctx) detailedSearch(invmap []int) (float64, geom.Transform) {
 	if n == 0 {
 		return 0, geom.IdentityTransform()
 	}
-	return c.sp.Search(c.xtm[:n], c.ytm[:n], c.opt.SimplifyStep, c.ops)
+	return c.sp.SearchWS(c.w, c.xtm[:n], c.ytm[:n], c.opt.SimplifyStep, c.ops)
 }
 
 // scoreFast is TM-align's get_score_fast: a cheap three-round estimate of
@@ -37,20 +37,37 @@ func (c *ctx) scoreFast(invmap []int) float64 {
 	copy(xtm, c.r1[:n])
 	copy(ytm, c.r2[:n])
 
-	tr, _ := geom.Superpose(c.r1[:n], c.r2[:n])
-	c.ops.AddKabsch(n)
-
 	d02 := c.sp.D0 * c.sp.D0
 	d002 := c.sp.D0Search * c.sp.D0Search
+	dis2 := c.dis2[:n]
 
-	score := 0.0
-	for k := 0; k < n; k++ {
-		di := tr.Apply(xtm[k]).Dist2(ytm[k])
-		c.dis2[k] = di
-		score += 1 / (1 + di/d02)
+	// scorePass rotates xtm under tr and accumulates the TM sum, caching
+	// squared distances; the transform is hoisted into scalars in
+	// Apply/Dist2 evaluation order (bit-identical to the method chain).
+	scorePass := func(tr geom.Transform) float64 {
+		r00, r01, r02 := tr.R[0][0], tr.R[0][1], tr.R[0][2]
+		r10, r11, r12 := tr.R[1][0], tr.R[1][1], tr.R[1][2]
+		r20, r21, r22 := tr.R[2][0], tr.R[2][1], tr.R[2][2]
+		tx, ty, tz := tr.T[0], tr.T[1], tr.T[2]
+		s := 0.0
+		for k := 0; k < n; k++ {
+			a, b := &xtm[k], &ytm[k]
+			px, py, pz := a[0], a[1], a[2]
+			dx := r00*px + r01*py + r02*pz + tx - b[0]
+			dy := r10*px + r11*py + r12*pz + ty - b[1]
+			dz := r20*px + r21*py + r22*pz + tz - b[2]
+			di := dx*dx + dy*dy + dz*dz
+			dis2[k] = di
+			s += 1 / (1 + di/d02)
+		}
+		c.ops.AddScore(n)
+		c.ops.AddRotate(n)
+		return s
 	}
-	c.ops.AddScore(n)
-	c.ops.AddRotate(n)
+
+	tr, _ := geom.Superpose(c.r1[:n], c.r2[:n])
+	c.ops.AddKabsch(n)
+	score := scorePass(tr)
 
 	// Round 2: re-fit on pairs within d0Search.
 	refit := func(cut2 float64) (float64, bool) {
@@ -58,7 +75,7 @@ func (c *ctx) scoreFast(invmap []int) float64 {
 		for cutoff := cut2; ; cutoff += 0.5 {
 			j = 0
 			for k := 0; k < n; k++ {
-				if c.dis2[k] <= cutoff {
+				if dis2[k] <= cutoff {
 					c.r1[j] = xtm[k]
 					c.r2[j] = ytm[k]
 					j++
@@ -76,15 +93,7 @@ func (c *ctx) scoreFast(invmap []int) float64 {
 		}
 		tr, _ := geom.Superpose(c.r1[:j], c.r2[:j])
 		c.ops.AddKabsch(j)
-		s := 0.0
-		for k := 0; k < n; k++ {
-			di := tr.Apply(xtm[k]).Dist2(ytm[k])
-			c.dis2[k] = di
-			s += 1 / (1 + di/d02)
-		}
-		c.ops.AddScore(n)
-		c.ops.AddRotate(n)
-		return s, true
+		return scorePass(tr), true
 	}
 
 	if s2, improvedPossible := refit(d002); improvedPossible {
@@ -106,7 +115,8 @@ func (c *ctx) scoreFast(invmap []int) float64 {
 func (c *ctx) dpIter(invmap0 []int, tr geom.Transform, maxIter int) (float64, geom.Transform, []int) {
 	bestTM := -1.0
 	bestTr := tr
-	best := append([]int(nil), invmap0...)
+	best := c.w.InvDP[:c.ylen]
+	copy(best, invmap0)
 
 	d02 := c.sp.D0 * c.sp.D0
 	xt := c.xt[:c.xlen]
@@ -118,17 +128,10 @@ func (c *ctx) dpIter(invmap0 []int, tr geom.Transform, maxIter int) (float64, ge
 			// Score matrix from current rotation.
 			cur.ApplyAll(xt, c.x)
 			c.ops.AddRotate(c.xlen)
-			for i := 0; i < c.xlen; i++ {
-				row := i * c.ylen
-				for j := 0; j < c.ylen; j++ {
-					c.scoreMat[row+j] = 1 / (1 + xt[i].Dist2(c.y[j])/d02)
-				}
-			}
+			c.fillDistMatrix(xt, d02, false)
 			c.ops.AddScore(c.xlen * c.ylen)
 
-			c.nw.Align(c.xlen, c.ylen, func(i, j int) float64 {
-				return c.scoreMat[i*c.ylen+j]
-			}, gapOpen, c.invTmp, c.ops)
+			c.nw.AlignMatrix(c.xlen, c.ylen, c.scoreMat, gapOpen, c.invTmp, c.ops)
 
 			tm, trNew := c.detailedSearch(c.invTmp)
 			if tm > bestTM {
@@ -151,6 +154,85 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// fillDistMatrix fills c.scoreMat with 1/(1+d^2/d2) for every (i, j)
+// pair of the rotated chain xt against the fixed chain, reading the
+// fixed chain through its SoA mirror (one contiguous stream per axis).
+// With ssBonus, pairs with matching secondary structure score +0.5
+// (get_initial_ssplus's mixed matrix). The distance arithmetic follows
+// Vec3.Dist2's evaluation order, so the default float64 fill is
+// bit-identical to the naive xt[i].Dist2(y[j]) loop; the opt-in float32
+// path trades that exactness for narrower arithmetic.
+func (c *ctx) fillDistMatrix(xt []geom.Vec3, d2 float64, ssBonus bool) {
+	if c.opt.Float32 {
+		c.fillDistMatrix32(xt, d2, ssBonus)
+		return
+	}
+	ylen := c.ylen
+	yx := c.w.YX[:ylen]
+	yy := c.w.YY[:ylen]
+	yz := c.w.YZ[:ylen]
+	for i := 0; i < c.xlen; i++ {
+		p := &xt[i]
+		px, py, pz := p[0], p[1], p[2]
+		row := c.scoreMat[i*ylen : i*ylen+ylen]
+		if ssBonus {
+			s1 := c.sec1[i]
+			sec2 := c.sec2
+			for j := range row {
+				dx, dy, dz := px-yx[j], py-yy[j], pz-yz[j]
+				di := dx*dx + dy*dy + dz*dz
+				s := 1 / (1 + di/d2)
+				if s1 == sec2[j] {
+					s += 0.5
+				}
+				row[j] = s
+			}
+		} else {
+			for j := range row {
+				dx, dy, dz := px-yx[j], py-yy[j], pz-yz[j]
+				di := dx*dx + dy*dy + dz*dz
+				row[j] = 1 / (1 + di/d2)
+			}
+		}
+	}
+}
+
+// fillDistMatrix32 is the float32 fast path of fillDistMatrix: distances
+// and scores are computed in single precision and widened on store. Only
+// the DP score matrix is affected — superposition and TM-scores stay
+// float64 — so drift is bounded to near-tied alignment choices.
+func (c *ctx) fillDistMatrix32(xt []geom.Vec3, d2 float64, ssBonus bool) {
+	ylen := c.ylen
+	yx := c.w.YX32[:ylen]
+	yy := c.w.YY32[:ylen]
+	yz := c.w.YZ32[:ylen]
+	d232 := float32(d2)
+	for i := 0; i < c.xlen; i++ {
+		p := &xt[i]
+		px, py, pz := float32(p[0]), float32(p[1]), float32(p[2])
+		row := c.scoreMat[i*ylen : i*ylen+ylen]
+		if ssBonus {
+			s1 := c.sec1[i]
+			sec2 := c.sec2
+			for j := range row {
+				dx, dy, dz := px-yx[j], py-yy[j], pz-yz[j]
+				di := dx*dx + dy*dy + dz*dz
+				s := 1 / (1 + di/d232)
+				if s1 == sec2[j] {
+					s += 0.5
+				}
+				row[j] = float64(s)
+			}
+		} else {
+			for j := range row {
+				dx, dy, dz := px-yx[j], py-yy[j], pz-yz[j]
+				di := dx*dx + dy*dy + dz*dz
+				row[j] = float64(1 / (1 + di/d232))
+			}
+		}
+	}
 }
 
 // alignedPairs copies the aligned coordinate pairs of invmap into dstX,

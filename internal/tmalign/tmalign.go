@@ -17,6 +17,7 @@ import (
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/geom"
+	"rckalign/internal/kernel"
 	"rckalign/internal/pdb"
 	"rckalign/internal/seqalign"
 	"rckalign/internal/ss"
@@ -48,6 +49,12 @@ type Options struct {
 	// D0 overrides the automatic d0 for the extra normalisation (the -d
 	// flag); 0 keeps the length-derived value.
 	D0 float64
+	// Float32, when set, computes the O(L^2) distance score matrices of
+	// the DP refinement in single precision (the final superposition and
+	// TM-scores stay float64). This is an opt-in fast path: scores can
+	// drift slightly from the default bit-exact float64 pipeline because
+	// the DP may pick a different (near-tied) alignment. Off by default.
+	Float32 bool
 }
 
 // DefaultOptions returns TM-align's standard search settings.
@@ -67,8 +74,15 @@ func FastOptions() Options {
 // identically under them.
 func (o Options) Key() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("tmalign/s%d:f%d:i%d:l%t:n%d:a%t:d%g",
+	k := fmt.Sprintf("tmalign/s%d:f%d:i%d:l%t:n%d:a%t:d%g",
 		o.SimplifyStep, o.FinalStep, o.MaxDPIters, o.SkipLocalInit, o.NormLength, o.NormAvg, o.D0)
+	// The float32 marker is appended only when the fast path is enabled
+	// so default-option keys (and the memoized pair caches committed
+	// under them) are unchanged.
+	if o.Float32 {
+		k += ":f32"
+	}
+	return k
 }
 
 func (o Options) withDefaults() Options {
@@ -132,14 +146,14 @@ type ctx struct {
 	opt        Options
 	nw         *seqalign.Aligner
 	ops        *costmodel.Counter
+	w          *kernel.Workspace
 
-	// Scratch buffers sized to the current problem.
+	// Scratch views into w, sized to the current problem.
 	r1, r2   []geom.Vec3
 	xtm, ytm []geom.Vec3
 	xt       []geom.Vec3
 	dis2     []float64
 	invTmp   []int
-	invBest  []int
 	scoreMat []float64
 }
 
@@ -151,9 +165,19 @@ func Compare(s1, s2 *pdb.Structure, opt Options) *Result {
 }
 
 // CompareCA aligns two CA traces (with one-letter sequences for the
-// sequence-identity report). It is the allocation-honest entry point used
-// by the parallel runners.
+// sequence-identity report). Scratch comes from the kernel workspace
+// pool; workers that own a Workspace should call CompareCAWS directly.
 func CompareCA(x, y []geom.Vec3, seq1, seq2 string, opt Options) *Result {
+	w := kernel.Get()
+	defer kernel.Put(w)
+	return CompareCAWS(w, x, y, seq1, seq2, opt)
+}
+
+// CompareCAWS is CompareCA running on the caller's kernel workspace. It
+// is the allocation-honest entry point used by the parallel runners: all
+// O(L) and O(L^2) scratch lives in w and is reused across comparisons.
+// The returned Result does not alias w.
+func CompareCAWS(w *kernel.Workspace, x, y []geom.Vec3, seq1, seq2 string, opt Options) *Result {
 	opt = opt.withDefaults()
 	ops := &costmodel.Counter{}
 	xlen, ylen := len(x), len(y)
@@ -168,8 +192,9 @@ func CompareCA(x, y []geom.Vec3, seq1, seq2 string, opt Options) *Result {
 		xlen: xlen, ylen: ylen,
 		sp:  tmscore.SearchParams(xlen, ylen),
 		opt: opt,
-		nw:  seqalign.NewAligner(),
+		nw:  w.Aligner(),
 		ops: ops,
+		w:   w,
 	}
 	c.sec1 = ss.Assign(x)
 	c.sec2 = ss.Assign(y)
@@ -179,15 +204,30 @@ func CompareCA(x, y []geom.Vec3, seq1, seq2 string, opt Options) *Result {
 	if ylen > n {
 		n = ylen
 	}
-	c.r1 = make([]geom.Vec3, n)
-	c.r2 = make([]geom.Vec3, n)
-	c.xtm = make([]geom.Vec3, n)
-	c.ytm = make([]geom.Vec3, n)
-	c.xt = make([]geom.Vec3, n)
-	c.dis2 = make([]float64, n)
-	c.invTmp = make([]int, ylen)
-	c.invBest = make([]int, ylen)
-	c.scoreMat = make([]float64, xlen*ylen)
+	w.ReservePairs(n)
+	w.ReserveMat(xlen * ylen)
+	c.r1 = w.R1[:n]
+	c.r2 = w.R2[:n]
+	c.xtm = w.PairX[:n]
+	c.ytm = w.PairY[:n]
+	c.xt = w.PairT[:n]
+	c.dis2 = w.Dis2[:n]
+	c.invTmp = w.InvTmp[:ylen]
+	c.scoreMat = w.Mat[:xlen*ylen]
+
+	// SoA mirror of the fixed chain for the fused matrix fills.
+	yx, yy, yz := w.YX[:ylen], w.YY[:ylen], w.YZ[:ylen]
+	for j := 0; j < ylen; j++ {
+		p := &y[j]
+		yx[j], yy[j], yz[j] = p[0], p[1], p[2]
+	}
+	if opt.Float32 {
+		w.Reserve32(ylen)
+		yx32, yy32, yz32 := w.YX32[:ylen], w.YY32[:ylen], w.YZ32[:ylen]
+		for j := 0; j < ylen; j++ {
+			yx32[j], yy32[j], yz32[j] = float32(yx[j]), float32(yy[j]), float32(yz[j])
+		}
+	}
 
 	invmap0 := c.run()
 	return c.finalize(invmap0)
@@ -204,7 +244,10 @@ func emptyInvmap(n int) []int {
 // run executes the initial-alignment + DP-refinement pipeline and returns
 // the best alignment found (TM-align's main loop).
 func (c *ctx) run() []int {
-	best := emptyInvmap(c.ylen)
+	best := c.w.InvBest[:c.ylen]
+	for j := range best {
+		best[j] = -1
+	}
 	bestTM := -1.0
 	var bestTr geom.Transform
 
@@ -229,7 +272,8 @@ func (c *ctx) run() []int {
 	}
 
 	// 1. Gapless threading.
-	inv := c.initialGapless()
+	inv := c.w.InvSeed[:c.ylen]
+	c.initialGapless(inv)
 	consider(inv, c.opt.MaxDPIters, 0.0)
 
 	// 2. Secondary structure alignment.
@@ -264,7 +308,6 @@ func (c *ctx) run() []int {
 func (c *ctx) finalize(invmap []int) *Result {
 	res := &Result{
 		Len1: c.xlen, Len2: c.ylen,
-		Invmap:    append([]int(nil), invmap...),
 		Transform: geom.IdentityTransform(),
 		Ops:       *c.ops,
 	}
@@ -287,7 +330,7 @@ func (c *ctx) finalize(invmap []int) *Result {
 	}
 
 	// Detailed search on the full aligned set with the search params.
-	_, tr := c.sp.Search(c.xtm[:nAli], c.ytm[:nAli], c.opt.FinalStep, c.ops)
+	_, tr := c.sp.SearchWS(c.w, c.xtm[:nAli], c.ytm[:nAli], c.opt.FinalStep, c.ops)
 
 	// Filter pairs with d <= d8 under the best rotation (n_ali8).
 	d8sq := c.sp.ScoreD8 * c.sp.ScoreD8
@@ -296,8 +339,11 @@ func (c *ctx) finalize(invmap []int) *Result {
 	n8 := 0
 	identical := 0
 	final := emptyInvmap(c.ylen)
+	xt, ytm := c.xt[:nAli], c.ytm[:nAli]
 	for k := 0; k < nAli; k++ {
-		if c.xt[k].Dist2(c.ytm[k]) <= d8sq {
+		a, b := &xt[k], &ytm[k]
+		dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+		if dx*dx+dy*dy+dz*dz <= d8sq {
 			c.xtm[n8] = c.xtm[k]
 			c.ytm[n8] = c.ytm[k]
 			p := idx[k]
@@ -327,9 +373,9 @@ func (c *ctx) finalize(invmap []int) *Result {
 	// Final TM-scores normalised by each chain length, searched at the
 	// final (fine) step over the kept pairs.
 	pA := tmscore.FinalParams(float64(c.xlen))
-	tmA, trA := pA.Search(c.xtm[:n8], c.ytm[:n8], c.opt.FinalStep, c.ops)
+	tmA, trA := pA.SearchWS(c.w, c.xtm[:n8], c.ytm[:n8], c.opt.FinalStep, c.ops)
 	pB := tmscore.FinalParams(float64(c.ylen))
-	tmB, _ := pB.Search(c.xtm[:n8], c.ytm[:n8], c.opt.FinalStep, c.ops)
+	tmB, _ := pB.SearchWS(c.w, c.xtm[:n8], c.ytm[:n8], c.opt.FinalStep, c.ops)
 	res.TM1 = tmA
 	res.TM2 = tmB
 
@@ -344,7 +390,7 @@ func (c *ctx) finalize(invmap []int) *Result {
 		if c.opt.D0 > 0 {
 			pN.D0 = c.opt.D0
 		}
-		res.TMNorm, _ = pN.Search(c.xtm[:n8], c.ytm[:n8], c.opt.FinalStep, c.ops)
+		res.TMNorm, _ = pN.SearchWS(c.w, c.xtm[:n8], c.ytm[:n8], c.opt.FinalStep, c.ops)
 	}
 	if c.xlen >= c.ylen {
 		res.Transform = trA

@@ -12,6 +12,7 @@ import (
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/geom"
+	"rckalign/internal/kernel"
 )
 
 // ErrAlignedLength reports aligned coordinate sets of different
@@ -97,28 +98,49 @@ func FinalParams(l float64) Params {
 // d <= score_d8) and collects into iAli the indices with d < d; if fewer
 // than 3 pairs qualify the cutoff is relaxed by 0.5 A steps. It returns
 // the TM-score (sum/LNorm) and the number of collected pairs.
-func (p Params) scoreFun8(xt, y []geom.Vec3, d float64, iAli []int, ops *costmodel.Counter) (float64, int) {
+//
+// The squared distances are computed once into dis2 (the score does not
+// depend on the collection cutoff) and the relaxation rounds re-scan the
+// cached distances only. The d8-cutoff branch is hoisted out of the
+// inner loop and the distance arithmetic is unrolled in Vec3.Dist2's
+// evaluation order, so scores are bit-identical to the reference loop.
+// The op charge still mirrors the reference score_fun8, which rescans
+// all n pairs (distances and scores) on every relaxation round — the
+// simulated kernel cost is unchanged.
+func (p Params) scoreFun8(xt, y []geom.Vec3, d float64, iAli []int, dis2 []float64, ops *costmodel.Counter) (float64, int) {
 	n := len(xt)
 	d02 := p.D0 * p.D0
-	d8cut2 := p.ScoreD8 * p.ScoreD8
-	dTmp := d * d
 	var scoreSum float64
+	y = y[:n]
+	dis2 = dis2[:n]
+	if p.ScoreD8 > 0 {
+		d8cut2 := p.ScoreD8 * p.ScoreD8
+		for i := range xt {
+			a, b := &xt[i], &y[i]
+			dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+			di := dx*dx + dy*dy + dz*dz
+			dis2[i] = di
+			if di <= d8cut2 {
+				scoreSum += 1 / (1 + di/d02)
+			}
+		}
+	} else {
+		for i := range xt {
+			a, b := &xt[i], &y[i]
+			dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+			di := dx*dx + dy*dy + dz*dz
+			dis2[i] = di
+			scoreSum += 1 / (1 + di/d02)
+		}
+	}
+	dTmp := d * d
 	nCut := 0
 	for inc := 0; ; inc++ {
 		nCut = 0
-		scoreSum = 0
-		for i := 0; i < n; i++ {
-			di := xt[i].Dist2(y[i])
+		for i, di := range dis2 {
 			if di < dTmp {
 				iAli[nCut] = i
 				nCut++
-			}
-			if p.ScoreD8 > 0 {
-				if di <= d8cut2 {
-					scoreSum += 1 / (1 + di/d02)
-				}
-			} else {
-				scoreSum += 1 / (1 + di/d02)
 			}
 		}
 		ops.AddScore(n)
@@ -142,7 +164,19 @@ const searchIterations = 20
 // seed is superposed, scored, and iteratively extended over the pairs
 // within distance cutoffs until convergence. It returns the best score
 // and the transform achieving it.
+//
+// Search checks scratch out of the kernel workspace pool; workers that
+// own a workspace should call SearchWS directly.
 func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counter) (float64, geom.Transform) {
+	w := kernel.Get()
+	defer kernel.Put(w)
+	return p.SearchWS(w, x, y, simplifyStep, ops)
+}
+
+// SearchWS is Search running on the caller's workspace (the Search*
+// buffer group; every other group is left untouched, so a caller may be
+// mid-flight in the comparison layer).
+func (p Params) SearchWS(w *kernel.Workspace, x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counter) (float64, geom.Transform) {
 	n := len(x)
 	if n != len(y) {
 		panic(fmt.Errorf("%w (Search: %d vs %d)", ErrAlignedLength, n, len(y)))
@@ -173,11 +207,13 @@ func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counte
 
 	scoreMax := -1.0
 	bestT := geom.IdentityTransform()
-	xt := make([]geom.Vec3, n)
-	iAli := make([]int, n)
-	kAli := make([]int, n)
-	r1 := make([]geom.Vec3, n)
-	r2 := make([]geom.Vec3, n)
+	w.ReserveSearch(n)
+	xt := w.SearchXt[:n]
+	iAli := w.SearchIAli[:n]
+	kAli := w.SearchKAli[:n]
+	r1 := w.SearchR1[:n]
+	r2 := w.SearchR2[:n]
+	dis2 := w.SearchDis2[:n]
 
 	for _, lInit := range ladder {
 		iLMax := n - lInit + 1
@@ -187,7 +223,7 @@ func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counte
 			tr.ApplyAll(xt, x)
 			ops.AddRotate(n)
 
-			score, nCut := p.scoreFun8(xt, y, p.D0Search-1, iAli, ops)
+			score, nCut := p.scoreFun8(xt, y, p.D0Search-1, iAli, dis2, ops)
 			if score > scoreMax {
 				scoreMax = score
 				bestT = tr
@@ -211,7 +247,7 @@ func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counte
 				ops.AddKabsch(ka)
 				tr.ApplyAll(xt, x)
 				ops.AddRotate(n)
-				score, nCut = p.scoreFun8(xt, y, d, iAli, ops)
+				score, nCut = p.scoreFun8(xt, y, d, iAli, dis2, ops)
 				if score > scoreMax {
 					scoreMax = score
 					bestT = tr
@@ -236,20 +272,32 @@ func (p Params) Search(x, y []geom.Vec3, simplifyStep int, ops *costmodel.Counte
 
 // ScoreWithTransform returns the TM-score of the fixed alignment under a
 // given transform of x, without searching (pairs beyond ScoreD8 excluded
-// when it is set).
+// when it is set). The transform is hoisted into scalars, in Apply's
+// evaluation order, so the fused rotate+distance+score pass is
+// bit-identical to the reference loop.
 func (p Params) ScoreWithTransform(x, y []geom.Vec3, tr geom.Transform, ops *costmodel.Counter) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Errorf("%w (ScoreWithTransform: %d vs %d)", ErrAlignedLength, len(x), len(y)))
 	}
 	d02 := p.D0 * p.D0
 	d8cut2 := p.ScoreD8 * p.ScoreD8
+	noCut := p.ScoreD8 <= 0
+	r00, r01, r02 := tr.R[0][0], tr.R[0][1], tr.R[0][2]
+	r10, r11, r12 := tr.R[1][0], tr.R[1][1], tr.R[1][2]
+	r20, r21, r22 := tr.R[2][0], tr.R[2][1], tr.R[2][2]
+	tx, ty, tz := tr.T[0], tr.T[1], tr.T[2]
+	y = y[:len(x)]
 	var sum float64
 	for i := range x {
-		di := tr.Apply(x[i]).Dist2(y[i])
-		if p.ScoreD8 > 0 && di > d8cut2 {
-			continue
+		a, b := &x[i], &y[i]
+		px, py, pz := a[0], a[1], a[2]
+		dx := r00*px + r01*py + r02*pz + tx - b[0]
+		dy := r10*px + r11*py + r12*pz + ty - b[1]
+		dz := r20*px + r21*py + r22*pz + tz - b[2]
+		di := dx*dx + dy*dy + dz*dz
+		if noCut || di <= d8cut2 {
+			sum += 1 / (1 + di/d02)
 		}
-		sum += 1 / (1 + di/d02)
 	}
 	ops.AddScore(len(x))
 	ops.AddRotate(len(x))

@@ -8,6 +8,7 @@ import (
 
 	"rckalign/internal/costmodel"
 	"rckalign/internal/geom"
+	"rckalign/internal/kernel"
 )
 
 func TestD0Formula(t *testing.T) {
@@ -188,9 +189,58 @@ func TestSearchTinyInputs(t *testing.T) {
 		t.Errorf("empty Search TM = %v, want 0", tm)
 	}
 	// Single pair.
-	tm, _ = p.Search(x[:1], x[:1], 1, nil)
+	tm, tr := p.Search(x[:1], x[:1], 1, nil)
 	if tm <= 0 {
 		t.Errorf("single-pair TM = %v", tm)
+	}
+	if !tr.R.IsRotation(1e-9) {
+		t.Errorf("single-pair Search returned a non-rotation")
+	}
+	// Two pairs: below the smallest L_ini fragment (4), the seed ladder
+	// and the cutoff-relaxation guard (nCut < 3 only when n > 3) must
+	// still converge on the identity-superposable pair. Normalise by the
+	// actual length so a perfect match scores ~1.
+	tm, tr = FinalParams(2).Search(x[:2], x[:2], 1, nil)
+	if tm < 0.99 {
+		t.Errorf("two-pair self TM = %v, want ~1", tm)
+	}
+	if !tr.R.IsRotation(1e-9) {
+		t.Errorf("two-pair Search returned a non-rotation")
+	}
+	// Three pairs, displaced copy: superposition must recover it.
+	y := make([]geom.Vec3, 3)
+	g := geom.Transform{R: geom.RotZ(0.9), T: geom.V(-3, 7, 1)}
+	g.ApplyAll(y, x[:3])
+	tm, _ = FinalParams(3).Search(x[:3], y, 1, nil)
+	if tm < 0.99 {
+		t.Errorf("three-pair rigid-copy TM = %v, want ~1", tm)
+	}
+}
+
+// TestSearchWSMatchesSearch verifies the workspace-explicit entry point
+// is the same computation as the pooled wrapper: identical scores,
+// transforms and charged ops, including when one Workspace is reused
+// (dirty) across calls of different sizes.
+func TestSearchWSMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	w := kernel.Get()
+	defer kernel.Put(w)
+	for _, n := range []int{5, 37, 80, 11} { // descending sizes exercise stale scratch
+		x := randomTrace(rng, n)
+		y := randomTrace(rng, n)
+		p := SearchParams(n, n)
+		var opsPool, opsWS costmodel.Counter
+		tm1, tr1 := p.Search(x, y, 40, &opsPool)
+		tm2, tr2 := p.SearchWS(w, x, y, 40, &opsWS)
+		if tm1 != tm2 {
+			t.Errorf("n=%d: Search TM %v != SearchWS TM %v", n, tm1, tm2)
+		}
+		if tr1 != tr2 {
+			t.Errorf("n=%d: transforms differ:\n%v\n%v", n, tr1, tr2)
+		}
+		if opsPool != opsWS {
+			t.Errorf("n=%d: ops differ: %+v vs %+v", n, opsPool, opsWS)
+		}
 	}
 }
 
